@@ -1,0 +1,162 @@
+package repro
+
+// Benchmark harness: one benchmark per figure of the paper's evaluation
+// (Section 4.3) plus one per ablation in DESIGN.md. Each benchmark runs
+// the corresponding experiment at CI scale (10x-reduced, same shape)
+// and reports the headline quantities as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the entire evaluation. The full-scale (paper-sized)
+// series are produced by `go run ./cmd/repro -exp all -scale full`.
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// BenchmarkFig1 regenerates Figure 1 (hops = 2): queries satisfied per
+// hour (a) and query overhead per hour (b), static vs dynamic.
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := experiments.Fig1(experiments.CI, uint64(i+1))
+		b.ReportMetric(f.StaticHitsTotal, "static-hits")
+		b.ReportMetric(f.DynamicHitsTotal, "dynamic-hits")
+		b.ReportMetric(f.StaticMsgsTotal, "static-msgs")
+		b.ReportMetric(f.DynamicMsgsTotal, "dynamic-msgs")
+	}
+}
+
+// BenchmarkFig2 regenerates Figure 2 (hops = 4).
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f := experiments.Fig2(experiments.CI, uint64(i+1))
+		b.ReportMetric(f.StaticHitsTotal, "static-hits")
+		b.ReportMetric(f.DynamicHitsTotal, "dynamic-hits")
+		b.ReportMetric(f.StaticMsgsTotal, "static-msgs")
+		b.ReportMetric(f.DynamicMsgsTotal, "dynamic-msgs")
+	}
+}
+
+// BenchmarkFig3a regenerates Figure 3(a): mean first-result delay vs
+// terminating condition (reported for the deepest setting, TTL = 4).
+func BenchmarkFig3a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig3a(experiments.CI, uint64(i+1))
+		last := rows[len(rows)-1]
+		b.ReportMetric(last.StaticDelayMs, "static-delay-ms")
+		b.ReportMetric(last.DynamicDelayMs, "dynamic-delay-ms")
+		b.ReportMetric(float64(last.StaticResults), "static-results")
+		b.ReportMetric(float64(last.DynamicResults), "dynamic-results")
+	}
+}
+
+// BenchmarkFig3b regenerates Figure 3(b): total hits vs reconfiguration
+// threshold (reported: hits at the optimum and at the boundaries).
+func BenchmarkFig3b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig3b(experiments.CI, uint64(i+1))
+		best := rows[0].DynamicHits
+		for _, r := range rows {
+			if r.DynamicHits > best {
+				best = r.DynamicHits
+			}
+		}
+		b.ReportMetric(rows[0].StaticHits, "static-hits")
+		b.ReportMetric(rows[0].DynamicHits, "theta1-hits")
+		b.ReportMetric(best, "best-theta-hits")
+		b.ReportMetric(rows[len(rows)-1].DynamicHits, "theta16-hits")
+	}
+}
+
+// BenchmarkDirectedBFT is the [10]-technique composition ablation.
+func BenchmarkDirectedBFT(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.DirectedBFT(experiments.CI, uint64(i+1))
+		b.ReportMetric(float64(rows[0].Messages), "flood-msgs")
+		b.ReportMetric(float64(rows[1].Messages), "directed-msgs")
+		b.ReportMetric(rows[1].Hits, "directed-hits")
+		b.ReportMetric(rows[2].Hits, "random2-hits")
+	}
+}
+
+// BenchmarkIterativeDeepening is the deepening-schedule ablation.
+func BenchmarkIterativeDeepening(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.IterDeepening(experiments.CI, uint64(i+1))
+		b.ReportMetric(float64(rows[0].Messages), "flood-msgs")
+		b.ReportMetric(float64(rows[1].Messages), "deepening-msgs")
+		b.ReportMetric(rows[1].MeanFirstResultMs, "deepening-first-ms")
+	}
+}
+
+// BenchmarkLocalIndices is the [10] technique-(iii) ablation.
+func BenchmarkLocalIndices(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.LocalIndices(experiments.CI, uint64(i+1))
+		b.ReportMetric(float64(rows[0].Messages), "flood-msgs")
+		b.ReportMetric(float64(rows[1].Messages), "indexed-msgs")
+		b.ReportMetric(rows[0].Hits, "flood-hits")
+		b.ReportMetric(rows[1].Hits, "indexed-hits")
+	}
+}
+
+// BenchmarkAsymmetricUpdate compares Algo 3 vs Algo 4 on the Gnutella
+// workload.
+func BenchmarkAsymmetricUpdate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AsymmetricUpdate(experiments.CI, uint64(i+1))
+		b.ReportMetric(rows[0].Hits, "static-hits")
+		b.ReportMetric(rows[1].Hits, "symmetric-hits")
+		b.ReportMetric(rows[2].Hits, "asymmetric-hits")
+	}
+}
+
+// BenchmarkBenefitFunctions measures benefit-definition sensitivity.
+func BenchmarkBenefitFunctions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.BenefitFunctions(experiments.CI, uint64(i+1))
+		b.ReportMetric(rows[0].Hits, "BR-hits")
+		b.ReportMetric(rows[1].Hits, "hitcount-hits")
+		b.ReportMetric(rows[2].Hits, "latency-hits")
+	}
+}
+
+// BenchmarkDrift measures re-adaptation after a mid-run preference
+// change, with and without ledger decay.
+func BenchmarkDrift(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Drift(experiments.CI, uint64(i+1))
+		n := len(rows)
+		var staticEnd, dynEnd, decayEnd float64
+		for _, r := range rows[n-n/4:] {
+			staticEnd += r.StaticHits
+			dynEnd += r.DynamicHits
+			decayEnd += r.DynamicDecayHits
+		}
+		b.ReportMetric(staticEnd, "static-tail-hits")
+		b.ReportMetric(dynEnd, "dynamic-tail-hits")
+		b.ReportMetric(decayEnd, "decay-tail-hits")
+	}
+}
+
+// BenchmarkWebCache runs the Squid-like case study.
+func BenchmarkWebCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.WebCache(experiments.CI, uint64(i+1))
+		b.ReportMetric(rows[0].NeighborHitRatio, "static-nbr-ratio")
+		b.ReportMetric(rows[1].NeighborHitRatio, "dynamic-nbr-ratio")
+		b.ReportMetric(rows[1].MeanLatencyMs, "dynamic-latency-ms")
+	}
+}
+
+// BenchmarkPeerOlap runs the chunk-cache case study.
+func BenchmarkPeerOlap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.PeerOlap(experiments.CI, uint64(i+1))
+		b.ReportMetric(rows[0].MeanQueryCostS, "static-cost-s")
+		b.ReportMetric(rows[1].MeanQueryCostS, "dynamic-cost-s")
+		b.ReportMetric(rows[1].PeerHitRatio, "dynamic-peer-ratio")
+	}
+}

@@ -1,0 +1,172 @@
+// Command dsearch runs one live repository node over TCP, exposing the
+// framework's search and reconfiguration on a real socket. Several
+// dsearch processes on one machine (or LAN) form a searchable network.
+//
+// Usage:
+//
+//	dsearch -id 0 -listen 127.0.0.1:7000 \
+//	        -peers "1=127.0.0.1:7001,2=127.0.0.1:7002" \
+//	        -neighbors 1,2 -keys 10,11,12
+//
+// Commands on stdin:
+//
+//	search <key>    flood a query and print the hits
+//	neighbors       print the current neighbor set
+//	reconfigure     run one Algo 5 reconfiguration
+//	quit            exit
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/live"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		id        = flag.Int("id", 0, "this node's ID (unique in the network)")
+		listen    = flag.String("listen", "127.0.0.1:7000", "listen address")
+		peers     = flag.String("peers", "", "peer address book: id=host:port,...")
+		neighbors = flag.String("neighbors", "", "initial neighbor IDs: 1,2,...")
+		keys      = flag.String("keys", "", "content keys this node serves: 10,11,...")
+		ttl       = flag.Int("ttl", 4, "search hop limit")
+		capacity  = flag.Int("cap", 4, "neighbor capacity")
+		timeout   = flag.Duration("timeout", 2*time.Second, "search collection window")
+		class     = flag.String("class", "cable", "bandwidth class: 56k, cable or lan")
+	)
+	flag.Parse()
+
+	store := live.MapStore{}
+	for _, k := range splitInts(*keys) {
+		store.Add(core.Key(k))
+	}
+
+	transport := live.NewTCPTransport()
+	defer transport.Close()
+	for _, kv := range strings.Split(*peers, ",") {
+		if kv == "" {
+			continue
+		}
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			fatalf("bad -peers entry %q (want id=addr)", kv)
+		}
+		pid, err := strconv.Atoi(parts[0])
+		if err != nil {
+			fatalf("bad peer id %q: %v", parts[0], err)
+		}
+		transport.SetAddr(topology.NodeID(pid), parts[1])
+	}
+
+	node := live.NewNode(live.Config{
+		ID:        topology.NodeID(*id),
+		Neighbors: *capacity,
+		TTL:       *ttl,
+		Transport: transport,
+		Store:     store,
+		Class:     parseClass(*class),
+	})
+
+	addr, stopListen, err := live.Listen(*listen, node.Deliver)
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	defer stopListen()
+	node.Start()
+	defer node.Stop()
+
+	for _, nb := range splitInts(*neighbors) {
+		node.AddNeighbor(topology.NodeID(nb))
+	}
+	fmt.Printf("node %d listening on %s, serving %d keys, neighbors %v\n",
+		*id, addr, len(store), node.Neighbors())
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			fmt.Print("> ")
+			continue
+		}
+		switch fields[0] {
+		case "search":
+			if len(fields) != 2 {
+				fmt.Println("usage: search <key>")
+				break
+			}
+			k, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				fmt.Printf("bad key: %v\n", err)
+				break
+			}
+			hits := node.Search(core.Key(k), *timeout)
+			if len(hits) == 0 {
+				fmt.Println("NOT FOUND")
+			}
+			for _, h := range hits {
+				fmt.Printf("hit: node %d, %d hop(s), link %v\n", h.Holder, h.Hops, h.Class)
+			}
+		case "neighbors":
+			fmt.Println(node.Neighbors())
+		case "reconfigure":
+			node.Reconfigure()
+			time.Sleep(100 * time.Millisecond)
+			fmt.Println(node.Neighbors())
+		case "quit", "exit":
+			return
+		default:
+			fmt.Println("commands: search <key> | neighbors | reconfigure | quit")
+		}
+		fmt.Print("> ")
+	}
+	// Stdin closed without "quit": keep serving (daemon mode — the node
+	// still answers peers' queries). Interrupt to stop.
+	fmt.Println("stdin closed; serving until interrupted")
+	select {}
+}
+
+// splitInts parses "1,2,3" (empty string allowed).
+func splitInts(s string) []int {
+	var out []int
+	for _, p := range strings.Split(s, ",") {
+		if p == "" {
+			continue
+		}
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			fatalf("bad integer list entry %q: %v", p, err)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// parseClass maps a flag value to a bandwidth class.
+func parseClass(s string) netsim.BandwidthClass {
+	switch strings.ToLower(s) {
+	case "56k", "modem":
+		return netsim.Modem56K
+	case "cable":
+		return netsim.Cable
+	case "lan":
+		return netsim.LAN
+	default:
+		fatalf("unknown bandwidth class %q", s)
+		panic("unreachable")
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dsearch: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,168 @@
+// Command gnusim runs one configurable simulation of the Section 4
+// case study and prints a run summary plus (optionally) the hourly
+// series as CSV. Unlike cmd/repro, which regenerates the paper's
+// figures with fixed parameter sets, gnusim exposes every knob for
+// exploratory runs.
+//
+// Examples:
+//
+//	gnusim -mode dynamic -ttl 3 -theta 4 -hours 48
+//	gnusim -mode dynamic -forward directed2 -localindex -csv > run.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/gnutella"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "dynamic", "protocol variant: static or dynamic")
+		users     = flag.Int("users", 2000, "network size (2000 = paper scale)")
+		songs     = flag.Int("songs", 0, "catalog size (0 = scale with users)")
+		hours     = flag.Int("hours", 96, "simulated hours")
+		ttl       = flag.Int("ttl", 2, "search hop limit")
+		neighbors = flag.Int("neighbors", 4, "neighbor capacity")
+		theta     = flag.Int("theta", 2, "reconfiguration threshold (requests)")
+		swaps     = flag.Int("swaps", 1, "max neighbor swaps per reconfiguration (0 = unlimited)")
+		update    = flag.String("update", "symmetric", "update regime: symmetric or asymmetric")
+		benefit   = flag.String("benefit", "br", "benefit function: br, hits or latency")
+		forward   = flag.String("forward", "flood", "forward policy: flood, directed2 or random2")
+		localIdx  = flag.Bool("localindex", false, "enable radius-1 local indices")
+		deepening = flag.Bool("deepening", false, "iterative deepening schedule {1, ttl}")
+		trial     = flag.Float64("trial", 0, "invitation trial period in hours (0 = permanent accepts)")
+		rate      = flag.Float64("rate", 12, "queries per on-line user per hour")
+		seed      = flag.Uint64("seed", 1, "experiment seed")
+		csv       = flag.Bool("csv", false, "emit the hourly series as CSV")
+		traceFile = flag.String("trace", "", "write a JSONL protocol event trace to this file")
+	)
+	flag.Parse()
+
+	cfg, err := buildConfig(*mode, *users, *songs, *hours, *ttl, *neighbors,
+		*theta, *swaps, *update, *benefit, *forward, *localIdx, *deepening, *rate, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gnusim:", err)
+		os.Exit(2)
+	}
+	cfg.Variant.TrialPeriodHours = *trial
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gnusim:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		sink := trace.NewJSONL(f)
+		cfg.Trace = sink
+		defer func() {
+			if err := sink.Err(); err != nil {
+				fmt.Fprintln(os.Stderr, "gnusim: trace:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "trace: %d events -> %s\n", sink.Written(), *traceFile)
+			}
+		}()
+	}
+
+	start := time.Now()
+	s := gnutella.New(cfg)
+	m := s.Run()
+	elapsed := time.Since(start)
+
+	if *csv {
+		t := metrics.NewTable("", "hour", "queries", "hits", "messages")
+		for h := 0; h < *hours; h++ {
+			t.AddRow(h, m.Queries.Bucket(h), m.Hits.Bucket(h), m.Meter.Bucket(netsim.MsgQuery, h))
+		}
+		fmt.Print(t.CSV())
+	}
+
+	queries := m.Queries.Total()
+	hits := m.Hits.Total()
+	msgs := m.Meter.Total(netsim.MsgQuery)
+	fmt.Fprintf(os.Stderr, "%s: %v queries, %v hits (%.1f%%), %d query messages (%.1f/query)\n",
+		cfg.Mode, queries, hits, 100*hits/queries, msgs, float64(msgs)/queries)
+	fmt.Fprintf(os.Stderr, "results: %d total; first-result delay %.0f ms (n=%d)\n",
+		m.TotalResults, m.FirstResultDelay.Mean()*1000, m.FirstResultDelay.N())
+	fmt.Fprintf(os.Stderr, "reconfigurations: %d; invites %d, evictions %d; logins %d\n",
+		m.Reconfigurations, m.Meter.Total(netsim.MsgInvite), m.Meter.Total(netsim.MsgEvict), m.LoginCount)
+	fmt.Fprintf(os.Stderr, "network consistent: %v; wall time %.1fs\n",
+		s.Network().Consistent(), elapsed.Seconds())
+}
+
+// buildConfig assembles and validates the gnutella configuration.
+func buildConfig(mode string, users, songs, hours, ttl, neighbors, theta, swaps int,
+	update, benefit, forward string, localIdx, deepening bool, rate float64, seed uint64) (gnutella.Config, error) {
+	var m gnutella.Mode
+	switch mode {
+	case "static":
+		m = gnutella.Static
+	case "dynamic":
+		m = gnutella.Dynamic
+	default:
+		return gnutella.Config{}, fmt.Errorf("unknown mode %q", mode)
+	}
+	cfg := gnutella.DefaultConfig(m, ttl)
+	if users != 2000 {
+		scale := 2000 / users
+		if scale < 1 {
+			scale = 1
+		}
+		cfg.Music = cfg.Music.Scaled(scale)
+		cfg.Music.Users = users
+	}
+	if songs > 0 {
+		if songs%cfg.Music.Categories != 0 {
+			return gnutella.Config{}, fmt.Errorf("songs %d not divisible by %d categories",
+				songs, cfg.Music.Categories)
+		}
+		cfg.Music.Songs = songs
+	}
+	cfg.DurationHours = hours
+	cfg.Neighbors = neighbors
+	cfg.ReconfigThreshold = theta
+	cfg.MaxSwaps = swaps
+	cfg.Query.RatePerHour = rate
+	cfg.Seed = seed
+
+	switch update {
+	case "symmetric":
+		cfg.Variant.Update = gnutella.SymmetricUpdate
+	case "asymmetric":
+		cfg.Variant.Update = gnutella.AsymmetricUpdate
+	default:
+		return gnutella.Config{}, fmt.Errorf("unknown update regime %q", update)
+	}
+	switch benefit {
+	case "br":
+		cfg.Variant.Benefit = gnutella.BenefitBR
+	case "hits":
+		cfg.Variant.Benefit = gnutella.BenefitHitCount
+	case "latency":
+		cfg.Variant.Benefit = gnutella.BenefitHitsPerLatency
+	default:
+		return gnutella.Config{}, fmt.Errorf("unknown benefit %q", benefit)
+	}
+	switch forward {
+	case "flood":
+		cfg.Variant.Forward = gnutella.ForwardFlood
+	case "directed2":
+		cfg.Variant.Forward = gnutella.ForwardDirected2
+	case "random2":
+		cfg.Variant.Forward = gnutella.ForwardRandom2
+	default:
+		return gnutella.Config{}, fmt.Errorf("unknown forward policy %q", forward)
+	}
+	cfg.Variant.UseLocalIndices = localIdx
+	if deepening && ttl > 1 {
+		cfg.Variant.IterativeDeepening = []int{1, ttl}
+		cfg.Variant.DeepeningTimeout = 2.0
+	}
+	return cfg, cfg.Validate()
+}

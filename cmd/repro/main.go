@@ -1,0 +1,118 @@
+// Command repro regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	repro -exp fig1a [-scale full|ci] [-seed N] [-csv]
+//
+// Experiments: fig1a fig1b fig2a fig2b fig3a fig3b all
+// plus the ablations: directed iterdeep asym benefit webcache peerolap.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: fig1a fig1b fig2a fig2b fig3a fig3b all directed iterdeep localindex asym benefit drift webcache peerolap")
+		scale = flag.String("scale", "ci", "scale: full (paper, minutes) or ci (reduced, seconds)")
+		seed  = flag.Uint64("seed", 1, "experiment seed")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	sc, err := experiments.ParseScale(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	tables, err := run(*exp, sc, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, t := range tables {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t.String())
+		}
+	}
+	fmt.Fprintf(os.Stderr, "[%s scale, seed %d, %.1fs]\n", sc, *seed, time.Since(start).Seconds())
+}
+
+// run dispatches one experiment name to its harness.
+func run(exp string, sc experiments.Scale, seed uint64) ([]*metrics.Table, error) {
+	switch exp {
+	case "fig1a":
+		return []*metrics.Table{experiments.Fig1(sc, seed).HitsTable("Figure 1(a): queries satisfied per hour (hops=2)")}, nil
+	case "fig1b":
+		return []*metrics.Table{experiments.Fig1(sc, seed).MsgsTable("Figure 1(b): query overhead per hour (hops=2)")}, nil
+	case "fig1":
+		f := experiments.Fig1(sc, seed)
+		return []*metrics.Table{
+			f.HitsTable("Figure 1(a): queries satisfied per hour (hops=2)"),
+			f.MsgsTable("Figure 1(b): query overhead per hour (hops=2)"),
+		}, nil
+	case "fig2a":
+		return []*metrics.Table{experiments.Fig2(sc, seed).HitsTable("Figure 2(a): queries satisfied per hour (hops=4)")}, nil
+	case "fig2b":
+		return []*metrics.Table{experiments.Fig2(sc, seed).MsgsTable("Figure 2(b): query overhead per hour (hops=4)")}, nil
+	case "fig2":
+		f := experiments.Fig2(sc, seed)
+		return []*metrics.Table{
+			f.HitsTable("Figure 2(a): queries satisfied per hour (hops=4)"),
+			f.MsgsTable("Figure 2(b): query overhead per hour (hops=4)"),
+		}, nil
+	case "fig3a":
+		return []*metrics.Table{experiments.Fig3aTable(experiments.Fig3a(sc, seed))}, nil
+	case "fig3b":
+		return []*metrics.Table{experiments.Fig3bTable(experiments.Fig3b(sc, seed))}, nil
+	case "directed":
+		return []*metrics.Table{experiments.VariantTable(
+			"Ablation: Directed BFT vs flooding (dynamic, hops=3)",
+			experiments.DirectedBFT(sc, seed))}, nil
+	case "iterdeep":
+		return []*metrics.Table{experiments.VariantTable(
+			"Ablation: iterative deepening (dynamic, max depth 3)",
+			experiments.IterDeepening(sc, seed))}, nil
+	case "localindex":
+		return []*metrics.Table{experiments.VariantTable(
+			"Ablation: local indices r=1 (technique iii of [10], hops=2)",
+			experiments.LocalIndices(sc, seed))}, nil
+	case "asym":
+		return []*metrics.Table{experiments.VariantTable(
+			"Ablation: symmetric (Algo 4) vs asymmetric (Algo 3) updates (hops=2)",
+			experiments.AsymmetricUpdate(sc, seed))}, nil
+	case "benefit":
+		return []*metrics.Table{experiments.VariantTable(
+			"Ablation: benefit-function sensitivity (dynamic, hops=2)",
+			experiments.BenefitFunctions(sc, seed))}, nil
+	case "drift":
+		return []*metrics.Table{experiments.DriftTable(experiments.Drift(sc, seed))}, nil
+	case "webcache":
+		return []*metrics.Table{experiments.WebCacheTable(experiments.WebCache(sc, seed))}, nil
+	case "peerolap":
+		return []*metrics.Table{experiments.PeerOlapTable(experiments.PeerOlap(sc, seed))}, nil
+	case "all":
+		var out []*metrics.Table
+		for _, name := range []string{"fig1", "fig2", "fig3a", "fig3b", "directed", "iterdeep", "localindex", "asym", "benefit", "drift", "webcache", "peerolap"} {
+			ts, err := run(name, sc, seed)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ts...)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("repro: unknown experiment %q", exp)
+	}
+}

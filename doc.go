@@ -1,0 +1,12 @@
+// Package repro is a reproduction of "A General Framework for
+// Searching in Distributed Data Repositories" (Bakiras, Kalnis,
+// Loukopoulos, Ng — IPDPS 2003).
+//
+// The library lives under internal/: the framework core (search,
+// exploration, neighbor update) in internal/core, its substrates
+// (simulator, network model, topology, statistics, digests, workloads)
+// in sibling packages, and three case-study bindings (gnutella,
+// webcache, peerolap). cmd/repro regenerates every figure of the
+// paper's evaluation; bench_test.go in this directory does the same
+// under `go test -bench`. See README.md, DESIGN.md and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/eventq"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Cascade executes the generic search of Algo 1 over a topology view:
+// the query spreads from the origin along outgoing-neighbor edges,
+// every repository processes it at most once (duplicate suppression by
+// query ID, as in Algo 5's Process_Query), nodes holding the key reply
+// to the origin over the reverse route, and propagation obeys the TTL
+// and result-count terminating conditions.
+//
+// The cascade resolves the entire query within one simulator event:
+// per-hop delays are sampled and accumulated analytically, which is
+// exact as long as node state does not change during the (seconds-long)
+// life of one query — see DESIGN.md, substitution table.
+type Cascade struct {
+	// Graph supplies outgoing neighbors and liveness. Required.
+	Graph Graph
+	// Content answers local repository membership. Required.
+	Content Content
+	// Forward selects propagation targets. Required.
+	Forward ForwardPolicy
+	// Index, when non-nil, lets every visited node (and the origin)
+	// answer on behalf of peers within Index.Radius() hops — the Local
+	// Indices technique of [10]. Callers typically shorten the query
+	// TTL by the radius.
+	Index Index
+	// Delay samples one-way hop delays; nil means ZeroDelay.
+	Delay DelayFunc
+	// Ledger, when non-nil, returns the statistics ledger of a
+	// forwarding node (used by history-based forward policies).
+	Ledger func(id topology.NodeID) *stats.Ledger
+	// OnMessage, when non-nil, is invoked for every query propagation
+	// (from -> to), including duplicates discarded on arrival.
+	OnMessage func(from, to topology.NodeID)
+	// OnReplyHop, when non-nil, is invoked for every hop of a reply on
+	// the reverse route.
+	OnReplyHop func(from, to topology.NodeID)
+}
+
+// arrival is one in-flight copy of the query.
+type arrival struct {
+	node topology.NodeID
+	from topology.NodeID // forwarding neighbor (reverse-route next hop)
+	hops int
+}
+
+// visitState records the reverse route for replies.
+type visitState struct {
+	parent       topology.NodeID
+	forwardDelay float64
+	hops         int
+}
+
+// Run executes the search for query q and returns its outcome. It
+// panics on an invalid query or an incomplete cascade configuration;
+// both are programming errors, not runtime conditions.
+func (c *Cascade) Run(q *Query) *Outcome {
+	if err := q.Validate(); err != nil {
+		panic(err)
+	}
+	if c.Graph == nil || c.Content == nil || c.Forward == nil {
+		panic("core: Cascade requires Graph, Content and Forward")
+	}
+	delay := c.Delay
+	if delay == nil {
+		delay = ZeroDelay
+	}
+	ledger := func(topology.NodeID) *stats.Ledger { return nil }
+	if c.Ledger != nil {
+		ledger = c.Ledger
+	}
+
+	out := &Outcome{}
+	visited := map[topology.NodeID]*visitState{q.Origin: {parent: topology.None}}
+	pq := eventq.New()
+	var indexedHolders map[topology.NodeID]bool
+	if c.Index != nil {
+		indexedHolders = make(map[topology.NodeID]bool)
+	}
+
+	send := func(from, to topology.NodeID, t float64, hops int) {
+		out.Messages++
+		if c.OnMessage != nil {
+			c.OnMessage(from, to)
+		}
+		pq.Push(t+delay(from, to), arrival{node: to, from: from, hops: hops})
+	}
+
+	// With a local index the origin answers from its own index first —
+	// a zero-message lookup over its Radius()-hop neighborhood.
+	originHit := false
+	if c.Index != nil {
+		originHit = c.indexResults(q, out, indexedHolders, q.Origin, 0, 0, 0, delay)
+	}
+
+	// The origin forwards to its selected neighbors at t = 0
+	// (Send_Query: "sends the query to its neighbors"). TTL counts
+	// hops, so TTL = 0 means no propagation at all.
+	if q.TTL >= 1 && !(originHit && !q.ForwardWhenHit) &&
+		!(q.MaxResults > 0 && len(out.Results) >= q.MaxResults) {
+		for _, n := range c.Forward.Select(q, q.Origin, topology.None, c.Graph.Out(q.Origin), ledger(q.Origin)) {
+			send(q.Origin, n, 0, 1)
+		}
+	}
+
+	for {
+		item := pq.Pop()
+		if item == nil {
+			break
+		}
+		if q.MaxResults > 0 && len(out.Results) >= q.MaxResults {
+			// Terminating condition met; remaining in-flight copies are
+			// abandoned (they were already counted as messages).
+			break
+		}
+		now := item.Time
+		a := item.Value.(arrival)
+		if _, dup := visited[a.node]; dup {
+			continue // Process_Query: "if the same message has been received before, return"
+		}
+		if !c.Graph.Online(a.node) {
+			continue // message reached a node that just went off-line
+		}
+		st := &visitState{parent: a.from, forwardDelay: now, hops: a.hops}
+		visited[a.node] = st
+		out.Visited++
+
+		hit := c.Content.HasContent(a.node, q.Key)
+		if hit && indexedHolders != nil && indexedHolders[a.node] {
+			hit = false // already answered on this node's behalf upstream
+		}
+		if hit || c.Index != nil {
+			// Reply travels the reverse route (Gnutella semantics);
+			// each reverse hop samples a fresh delay.
+			replyDelay := 0.0
+			node := a.node
+			for node != q.Origin {
+				s := visited[node]
+				replyDelay += delay(node, s.parent)
+				node = s.parent
+			}
+			if hit {
+				node = a.node
+				for node != q.Origin {
+					out.ReplyMessages++
+					if c.OnReplyHop != nil {
+						c.OnReplyHop(node, visited[node].parent)
+					}
+					node = visited[node].parent
+				}
+				if indexedHolders != nil {
+					indexedHolders[a.node] = true
+				}
+				total := now + replyDelay
+				out.Results = append(out.Results, Result{Holder: a.node, Hops: a.hops, Delay: total})
+				if out.FirstResultDelay == 0 || total < out.FirstResultDelay {
+					out.FirstResultDelay = total
+				}
+			}
+			// Answer for indexed peers beyond this node.
+			if c.Index != nil &&
+				!(q.MaxResults > 0 && len(out.Results) >= q.MaxResults) {
+				if c.indexResults(q, out, indexedHolders, a.node, a.hops, now, replyDelay, delay) {
+					hit = true
+				}
+			}
+		}
+
+		// Propagation: a serving node stops unless ForwardWhenHit; TTL
+		// bounds the hop count.
+		if (hit && !q.ForwardWhenHit) || a.hops >= q.TTL {
+			continue
+		}
+		for _, n := range c.Forward.Select(q, a.node, a.from, c.Graph.Out(a.node), ledger(a.node)) {
+			send(a.node, n, now, a.hops+1)
+		}
+	}
+	return out
+}
+
+// IterativeDeepening implements technique (i) of [10] as a search
+// driver: successive cascades with growing TTL until the query is
+// satisfied or the maximum depth is reached. Message counts accumulate
+// across iterations (re-propagation is the technique's cost); the
+// returned outcome is the final iteration's results with the summed
+// overhead.
+//
+// The paper notes the technique is orthogonal to dynamic
+// reconfiguration and can be combined with it — the ablation benchmark
+// does exactly that.
+type IterativeDeepening struct {
+	// Depths is the TTL schedule, strictly increasing (e.g. 1, 2, 4).
+	Depths []int
+	// CycleTimeout is how long the initiator waits before declaring a
+	// cycle unsatisfied and deepening (seconds). Each failed cycle adds
+	// this to the first-result delay of the final outcome.
+	CycleTimeout float64
+}
+
+// Run executes the deepening schedule for q over cascade c. The TTL in
+// q is ignored; Depths governs.
+func (d IterativeDeepening) Run(c *Cascade, q *Query) *Outcome {
+	if len(d.Depths) == 0 {
+		panic("core: IterativeDeepening needs at least one depth")
+	}
+	prev := 0
+	var total Outcome
+	waited := 0.0
+	for _, depth := range d.Depths {
+		if depth <= prev {
+			panic(fmt.Sprintf("core: deepening schedule not increasing at depth %d", depth))
+		}
+		prev = depth
+		qq := *q
+		qq.TTL = depth
+		o := c.Run(&qq)
+		total.Messages += o.Messages
+		total.ReplyMessages += o.ReplyMessages
+		if o.Visited > total.Visited {
+			total.Visited = o.Visited
+		}
+		if o.Hit() {
+			total.Results = o.Results
+			total.FirstResultDelay = waited + o.FirstResultDelay
+			break
+		}
+		waited += d.CycleTimeout
+	}
+	return &total
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"repro/internal/eventq"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Exploration implements Algo 2: a metadata-only query about a
+// collection of data items that propagates like a search but fetches
+// nothing — visited repositories "return statistics and summarized
+// information", and the initiator uses the findings to update the
+// ledger from which neighbor updates are computed.
+//
+// Unlike a search, an exploration never stops at serving nodes: its
+// purpose is to census the neighborhood out to the TTL.
+type Exploration struct {
+	// Keys is the set of data items to query for (Algo 2: "select set
+	// of data items to query for").
+	Keys []Key
+	// Origin is the initiating repository.
+	Origin topology.NodeID
+	// TTL bounds propagation depth.
+	TTL int
+}
+
+// Finding is one visited repository's report.
+type Finding struct {
+	// Node is the reporting repository.
+	Node topology.NodeID
+	// Held lists which of the probed keys the repository holds.
+	Held []Key
+	// Hops is the forward-path distance from the initiator.
+	Hops int
+	// Delay is when the report arrived back at the initiator (seconds
+	// after the exploration started), over the reverse route.
+	Delay float64
+}
+
+// ExploreOutcome aggregates an exploration round.
+type ExploreOutcome struct {
+	// Findings holds one entry per visited repository, in arrival
+	// order, including repositories that hold none of the keys (their
+	// statistics still matter: a NOT-FOUND reply is information).
+	Findings []Finding
+	// Messages counts exploration propagations (metered as MsgExplore
+	// by callers).
+	Messages uint64
+	// ReplyMessages counts report hops on reverse routes.
+	ReplyMessages uint64
+}
+
+// Holders returns the nodes that reported holding key.
+func (o *ExploreOutcome) Holders(key Key) []topology.NodeID {
+	var out []topology.NodeID
+	for _, f := range o.Findings {
+		for _, k := range f.Held {
+			if k == key {
+				out = append(out, f.Node)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Explore runs one exploration round over the cascade's topology view.
+// The cascade's Forward policy selects propagation targets exactly as
+// in search; OnMessage metering is the caller's (exploration traffic is
+// usually metered as netsim.MsgExplore).
+func (c *Cascade) Explore(x *Exploration) *ExploreOutcome {
+	if c.Graph == nil || c.Content == nil || c.Forward == nil {
+		panic("core: Cascade requires Graph, Content and Forward")
+	}
+	if x.TTL < 0 {
+		panic("core: negative exploration TTL")
+	}
+	delay := c.Delay
+	if delay == nil {
+		delay = ZeroDelay
+	}
+	ledger := func(topology.NodeID) *stats.Ledger { return nil }
+	if c.Ledger != nil {
+		ledger = c.Ledger
+	}
+	// Exploration reuses the query-shaped forward policies; the pseudo
+	// query carries no key semantics (policies only inspect Origin).
+	pseudo := &Query{Origin: x.Origin, TTL: x.TTL}
+
+	out := &ExploreOutcome{}
+	visited := map[topology.NodeID]*visitState{x.Origin: {parent: topology.None}}
+	pq := eventq.New()
+
+	send := func(from, to topology.NodeID, t float64, hops int) {
+		out.Messages++
+		if c.OnMessage != nil {
+			c.OnMessage(from, to)
+		}
+		pq.Push(t+delay(from, to), arrival{node: to, from: from, hops: hops})
+	}
+
+	if x.TTL >= 1 {
+		for _, n := range c.Forward.Select(pseudo, x.Origin, topology.None, c.Graph.Out(x.Origin), ledger(x.Origin)) {
+			send(x.Origin, n, 0, 1)
+		}
+	}
+
+	for {
+		item := pq.Pop()
+		if item == nil {
+			break
+		}
+		now := item.Time
+		a := item.Value.(arrival)
+		if _, dup := visited[a.node]; dup {
+			continue
+		}
+		if !c.Graph.Online(a.node) {
+			continue
+		}
+		visited[a.node] = &visitState{parent: a.from, forwardDelay: now, hops: a.hops}
+
+		var held []Key
+		for _, k := range x.Keys {
+			if c.Content.HasContent(a.node, k) {
+				held = append(held, k)
+			}
+		}
+		// The report travels the reverse route regardless of outcome.
+		replyDelay := 0.0
+		node := a.node
+		for node != x.Origin {
+			s := visited[node]
+			replyDelay += delay(node, s.parent)
+			out.ReplyMessages++
+			if c.OnReplyHop != nil {
+				c.OnReplyHop(node, s.parent)
+			}
+			node = s.parent
+		}
+		out.Findings = append(out.Findings, Finding{
+			Node:  a.node,
+			Held:  held,
+			Hops:  a.hops,
+			Delay: now + replyDelay,
+		})
+
+		if a.hops >= x.TTL {
+			continue
+		}
+		for _, n := range c.Forward.Select(pseudo, a.node, a.from, c.Graph.Out(a.node), ledger(a.node)) {
+			send(a.node, n, now, a.hops+1)
+		}
+	}
+	return out
+}
+
+// RecordFindings folds an exploration outcome into the initiator's
+// ledger ("obtain results and update statistics"): every reporting node
+// gets a reply observation; nodes holding probed keys get hit/result
+// credit weighted by weight (the application's benefit increment, e.g.
+// the bandwidth weight of the reporting link).
+func RecordFindings(led *stats.Ledger, o *ExploreOutcome, now float64, weight func(topology.NodeID) float64) {
+	for _, f := range o.Findings {
+		r := led.Touch(f.Node)
+		r.Replies++
+		r.LatencySum += f.Delay
+		r.LastSeen = now
+		if len(f.Held) > 0 {
+			r.Hits++
+			r.Results += uint64(len(f.Held))
+			if weight != nil {
+				r.Benefit += weight(f.Node) * float64(len(f.Held))
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// ForwardPolicy chooses which outgoing neighbors receive a query at
+// each propagation step — the second main parameter of Algo 1 ("the
+// set of neighbors where the request should be sent to"). The paper
+// names three families: send-to-all, random, and history based; the
+// Directed BFT technique of Yang & Garcia-Molina is the history-based
+// representative.
+type ForwardPolicy interface {
+	// Select returns the subset of out to forward query q to. at is the
+	// forwarding node, from is the node the query arrived from (the
+	// origin passes topology.None), led is the forwarding node's
+	// statistics ledger (may be nil for stateless policies).
+	Select(q *Query, at, from topology.NodeID, out []topology.NodeID, led *stats.Ledger) []topology.NodeID
+	// Name identifies the policy in experiment output.
+	Name() string
+}
+
+// dropFrom filters from and the origin out of a neighbor list, reusing
+// dst (which may be nil).
+func dropFrom(dst, out []topology.NodeID, q *Query, from topology.NodeID) []topology.NodeID {
+	for _, n := range out {
+		if n == from || n == q.Origin {
+			continue
+		}
+		dst = append(dst, n)
+	}
+	return dst
+}
+
+// Flood forwards to every outgoing neighbor except the sender — the
+// Gnutella baseline behavior and the paper's case-study choice.
+type Flood struct{}
+
+// Select implements ForwardPolicy.
+func (Flood) Select(q *Query, _, from topology.NodeID, out []topology.NodeID, _ *stats.Ledger) []topology.NodeID {
+	return dropFrom(nil, out, q, from)
+}
+
+// Name implements ForwardPolicy.
+func (Flood) Name() string { return "flood" }
+
+// RandomK forwards to at most K uniformly chosen neighbors. With K >=
+// len(out) it degenerates to Flood.
+type RandomK struct {
+	K int
+	// Intn supplies uniform integers (rng.Stream.Intn). Must be non-nil.
+	Intn func(n int) int
+}
+
+// Select implements ForwardPolicy.
+func (p RandomK) Select(q *Query, _, from topology.NodeID, out []topology.NodeID, _ *stats.Ledger) []topology.NodeID {
+	cand := dropFrom(nil, out, q, from)
+	if len(cand) <= p.K {
+		return cand
+	}
+	// Partial Fisher-Yates: choose K of len(cand).
+	for i := 0; i < p.K; i++ {
+		j := i + p.Intn(len(cand)-i)
+		cand[i], cand[j] = cand[j], cand[i]
+	}
+	return cand[:p.K]
+}
+
+// Name implements ForwardPolicy.
+func (p RandomK) Name() string { return fmt.Sprintf("random-%d", p.K) }
+
+// DirectedBFT forwards to the K most beneficial neighbors according to
+// the forwarding node's own statistics — technique (ii) of [10], which
+// the paper notes is orthogonal to reconfiguration and can be employed
+// to further reduce query cost.
+type DirectedBFT struct {
+	K       int
+	Benefit stats.Benefit
+}
+
+// Select implements ForwardPolicy.
+func (p DirectedBFT) Select(q *Query, _, from topology.NodeID, out []topology.NodeID, led *stats.Ledger) []topology.NodeID {
+	cand := dropFrom(nil, out, q, from)
+	if len(cand) <= p.K || led == nil {
+		return cand
+	}
+	// Rank candidates by ledger benefit; unknown peers score 0.
+	type scored struct {
+		id    topology.NodeID
+		score float64
+	}
+	ss := make([]scored, len(cand))
+	for i, id := range cand {
+		s := 0.0
+		if r := led.Get(id); r != nil {
+			s = p.Benefit.Score(r)
+		}
+		ss[i] = scored{id, s}
+	}
+	// Insertion sort: lists are tiny (≤ neighbor cap).
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && (ss[j].score > ss[j-1].score ||
+			(ss[j].score == ss[j-1].score && ss[j].id < ss[j-1].id)); j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+	outK := make([]topology.NodeID, p.K)
+	for i := 0; i < p.K; i++ {
+		outK[i] = ss[i].id
+	}
+	return outK
+}
+
+// Name implements ForwardPolicy.
+func (p DirectedBFT) Name() string { return fmt.Sprintf("directed-bft-%d", p.K) }
+
+// DigestGuided forwards only to neighbors whose published digest may
+// contain the key ("use summary info if available", Algo 1). Bloom
+// digests have no false negatives, so skipped neighbors certainly do
+// not hold the key locally; Fallback (usually Flood) handles the case
+// where no digest matches, so deeper nodes stay reachable.
+type DigestGuided struct {
+	// MayHold reports whether node id's digest admits key. Nil digests
+	// (unknown peers) should return true.
+	MayHold func(id topology.NodeID, key Key) bool
+	// Fallback is consulted when no neighbor's digest matches; nil
+	// means "forward to none".
+	Fallback ForwardPolicy
+}
+
+// Select implements ForwardPolicy.
+func (p DigestGuided) Select(q *Query, at, from topology.NodeID, out []topology.NodeID, led *stats.Ledger) []topology.NodeID {
+	var match []topology.NodeID
+	for _, n := range dropFrom(nil, out, q, from) {
+		if p.MayHold(n, q.Key) {
+			match = append(match, n)
+		}
+	}
+	if len(match) == 0 && p.Fallback != nil {
+		return p.Fallback.Select(q, at, from, out, led)
+	}
+	return match
+}
+
+// Name implements ForwardPolicy.
+func (p DigestGuided) Name() string { return "digest-guided" }

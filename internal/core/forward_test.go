@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+func ids(xs ...int) []topology.NodeID {
+	out := make([]topology.NodeID, len(xs))
+	for i, x := range xs {
+		out[i] = topology.NodeID(x)
+	}
+	return out
+}
+
+func TestFloodSelectsAllButSenderAndOrigin(t *testing.T) {
+	q := &Query{Origin: 9}
+	got := Flood{}.Select(q, 0, 2, ids(1, 2, 3, 9), nil)
+	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("Flood.Select = %v", got)
+	}
+}
+
+func TestFloodFromNoneKeepsAll(t *testing.T) {
+	q := &Query{Origin: 0}
+	got := Flood{}.Select(q, 0, topology.None, ids(1, 2, 3), nil)
+	if len(got) != 3 {
+		t.Fatalf("Flood.Select = %v", got)
+	}
+}
+
+func TestRandomKBounds(t *testing.T) {
+	s := rng.New(1)
+	p := RandomK{K: 2, Intn: s.Intn}
+	q := &Query{Origin: 99}
+	for i := 0; i < 100; i++ {
+		got := p.Select(q, 0, topology.None, ids(1, 2, 3, 4, 5), nil)
+		if len(got) != 2 {
+			t.Fatalf("RandomK returned %d", len(got))
+		}
+		if got[0] == got[1] {
+			t.Fatal("RandomK returned duplicates")
+		}
+	}
+}
+
+func TestRandomKDegeneratesToFlood(t *testing.T) {
+	s := rng.New(2)
+	p := RandomK{K: 10, Intn: s.Intn}
+	got := p.Select(&Query{Origin: 99}, 0, topology.None, ids(1, 2), nil)
+	if len(got) != 2 {
+		t.Fatalf("RandomK(K>len) = %v", got)
+	}
+}
+
+func TestRandomKCoversAllNeighbors(t *testing.T) {
+	s := rng.New(3)
+	p := RandomK{K: 1, Intn: s.Intn}
+	seen := map[topology.NodeID]bool{}
+	for i := 0; i < 500; i++ {
+		got := p.Select(&Query{Origin: 99}, 0, topology.None, ids(1, 2, 3), nil)
+		seen[got[0]] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("RandomK never selected some neighbors: %v", seen)
+	}
+}
+
+func TestDirectedBFTTopK(t *testing.T) {
+	led := stats.NewLedger()
+	led.Touch(1).Benefit = 1
+	led.Touch(2).Benefit = 5
+	led.Touch(3).Benefit = 3
+	p := DirectedBFT{K: 2, Benefit: stats.Cumulative{}}
+	got := p.Select(&Query{Origin: 99}, 0, topology.None, ids(1, 2, 3), led)
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("DirectedBFT.Select = %v", got)
+	}
+}
+
+func TestDirectedBFTUnknownPeersScoreZero(t *testing.T) {
+	led := stats.NewLedger()
+	led.Touch(3).Benefit = 1
+	p := DirectedBFT{K: 1, Benefit: stats.Cumulative{}}
+	got := p.Select(&Query{Origin: 99}, 0, topology.None, ids(1, 2, 3), led)
+	if len(got) != 1 || got[0] != 3 {
+		t.Fatalf("DirectedBFT.Select = %v", got)
+	}
+}
+
+func TestDirectedBFTNilLedgerFallsBack(t *testing.T) {
+	p := DirectedBFT{K: 1, Benefit: stats.Cumulative{}}
+	got := p.Select(&Query{Origin: 99}, 0, topology.None, ids(1, 2, 3), nil)
+	if len(got) != 3 {
+		t.Fatalf("nil-ledger DirectedBFT = %v (must degrade to flood)", got)
+	}
+}
+
+func TestDirectedBFTTieBreaksByID(t *testing.T) {
+	led := stats.NewLedger()
+	led.Touch(1).Benefit = 5
+	led.Touch(2).Benefit = 5
+	led.Touch(3).Benefit = 5
+	p := DirectedBFT{K: 2, Benefit: stats.Cumulative{}}
+	got := p.Select(&Query{Origin: 99}, 0, topology.None, ids(3, 1, 2), led)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("tie-break = %v, want [1 2]", got)
+	}
+}
+
+func TestDigestGuidedFiltersBySummary(t *testing.T) {
+	may := map[topology.NodeID]bool{2: true}
+	p := DigestGuided{
+		MayHold: func(id topology.NodeID, _ Key) bool { return may[id] },
+	}
+	got := p.Select(&Query{Origin: 99, Key: 7}, 0, topology.None, ids(1, 2, 3), nil)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("DigestGuided.Select = %v", got)
+	}
+}
+
+func TestDigestGuidedFallback(t *testing.T) {
+	p := DigestGuided{
+		MayHold:  func(topology.NodeID, Key) bool { return false },
+		Fallback: Flood{},
+	}
+	got := p.Select(&Query{Origin: 99, Key: 7}, 0, topology.None, ids(1, 2), nil)
+	if len(got) != 2 {
+		t.Fatalf("fallback not used: %v", got)
+	}
+}
+
+func TestDigestGuidedNoFallback(t *testing.T) {
+	p := DigestGuided{MayHold: func(topology.NodeID, Key) bool { return false }}
+	got := p.Select(&Query{Origin: 99, Key: 7}, 0, topology.None, ids(1, 2), nil)
+	if len(got) != 0 {
+		t.Fatalf("nil fallback must select none: %v", got)
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	s := rng.New(1)
+	for _, p := range []ForwardPolicy{
+		Flood{},
+		RandomK{K: 2, Intn: s.Intn},
+		DirectedBFT{K: 2, Benefit: stats.Cumulative{}},
+		DigestGuided{MayHold: func(topology.NodeID, Key) bool { return true }},
+	} {
+		if p.Name() == "" {
+			t.Fatalf("%T has empty name", p)
+		}
+	}
+}

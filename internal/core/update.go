@@ -1,0 +1,296 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// This file implements the neighbor-update module of Section 3.4:
+// Algo 3 for (pure) asymmetric relations, where a node reconfigures
+// unilaterally, and Algo 4 for symmetric relations, where changes
+// require the invitation/eviction agreement. The Gnutella case study's
+// Algo 5 is Algo 4 with the "invited node always accepts" policy and a
+// one-swap-per-reconfiguration limit.
+
+// PlanAsymmetric computes the new outgoing list for a node under
+// Algo 3: rank every peer in the ledger by the benefit function, take
+// the top capacity eligible ones. current is used to fill remaining
+// slots (in current order) when the ledger knows fewer than capacity
+// eligible peers, so a node never discards neighbors for lack of
+// information.
+func PlanAsymmetric(led *stats.Ledger, b stats.Benefit, capacity int, current []topology.NodeID, eligible func(topology.NodeID) bool) []topology.NodeID {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("core: PlanAsymmetric with capacity %d", capacity))
+	}
+	exclude := func(id topology.NodeID) bool { return eligible != nil && !eligible(id) }
+	desired := led.TopK(b, capacity, exclude)
+	if len(desired) < capacity {
+		have := make(map[topology.NodeID]bool, len(desired))
+		for _, id := range desired {
+			have[id] = true
+		}
+		for _, id := range current {
+			if len(desired) >= capacity {
+				break
+			}
+			if !have[id] && (eligible == nil || eligible(id)) {
+				desired = append(desired, id)
+				have[id] = true
+			}
+		}
+	}
+	return desired
+}
+
+// ApplyOutList reconciles node id's outgoing list with desired on an
+// asymmetric network: evict neighbors not in desired, then connect the
+// missing ones. It returns what actually changed (a connect can fail if
+// the target's incoming list is capped).
+func ApplyOutList(net *topology.Network, id topology.NodeID, desired []topology.NodeID) (added, removed []topology.NodeID) {
+	want := make(map[topology.NodeID]bool, len(desired))
+	for _, d := range desired {
+		want[d] = true
+	}
+	for _, cur := range net.Node(id).Out.Snapshot() {
+		if !want[cur] {
+			if net.Disconnect(id, cur) {
+				removed = append(removed, cur)
+			}
+		}
+	}
+	for _, d := range desired {
+		if d == id || net.Node(id).Out.Contains(d) {
+			continue
+		}
+		if net.Connect(id, d) {
+			added = append(added, d)
+		}
+	}
+	return added, removed
+}
+
+// InvitePolicy selects how an invited node decides (Section 3.4
+// distinguishes the two cases).
+type InvitePolicy uint8
+
+const (
+	// AlwaysAccept is case (i): the invited node always accepts,
+	// evicting its least beneficial neighbor when full — the Gnutella
+	// case-study choice (Algo 5 Process_Invitation).
+	AlwaysAccept InvitePolicy = iota
+	// BenefitBased is case (ii): the invited node accepts only when its
+	// incoming list has room or the inviter is more beneficial than at
+	// least one current incoming neighbor.
+	BenefitBased
+)
+
+// String implements fmt.Stringer.
+func (p InvitePolicy) String() string {
+	switch p {
+	case AlwaysAccept:
+		return "always-accept"
+	case BenefitBased:
+		return "benefit-based"
+	default:
+		return fmt.Sprintf("InvitePolicy(%d)", uint8(p))
+	}
+}
+
+// SymmetricEnv is what the symmetric updater needs from its runtime.
+// The simulator implements it over the global network; the live runtime
+// implements it over real message exchange.
+type SymmetricEnv interface {
+	// Net returns the (symmetric-regime) network being reconfigured.
+	Net() *topology.Network
+	// Ledger returns a node's statistics ledger.
+	Ledger(id topology.NodeID) *stats.Ledger
+	// Online reports node liveness; off-line nodes are never invited
+	// and never accept.
+	Online(id topology.NodeID) bool
+	// Control meters one control message (invite, eviction, reply).
+	Control(kind netsim.MessageKind, from, to topology.NodeID)
+	// ResetCounter resets a node's reconfiguration counter (Algo 5:
+	// accepting an invitation resets the invited node's counter "to
+	// avoid updating the neighborhood in the near future, which could
+	// trigger cascading updates").
+	ResetCounter(id topology.NodeID)
+}
+
+// SymmetricUpdater executes Algo 4 reconfigurations.
+type SymmetricUpdater struct {
+	// Benefit ranks peers. Required.
+	Benefit stats.Benefit
+	// Capacity is the maximum number of neighbors (the paper uses 4).
+	Capacity int
+	// Invite selects the invited node's decision rule.
+	Invite InvitePolicy
+	// MaxSwaps bounds how many new neighbors one reconfiguration may
+	// invite; 0 means unlimited. The paper's case study exchanges one
+	// neighbor per reconfiguration ("only one neighbor is exchanged
+	// during each reconfiguration").
+	MaxSwaps int
+}
+
+// ReconfigReport describes what one reconfiguration did.
+type ReconfigReport struct {
+	// Invited lists invitation targets, in rank order.
+	Invited []topology.NodeID
+	// Accepted lists invitations that were accepted (edges created).
+	Accepted []topology.NodeID
+	// Evicted lists neighbors the reconfiguring node evicted.
+	Evicted []topology.NodeID
+}
+
+// Changed reports whether the reconfiguration modified any edge.
+func (r *ReconfigReport) Changed() bool {
+	return len(r.Accepted) > 0 || len(r.Evicted) > 0
+}
+
+// Reconfigure runs Algo 4 (equivalently Algo 5's Reconfigure) for node
+// id: compute the most beneficial eligible peers, invite the best
+// non-neighbors (evicting the least beneficial current neighbors to
+// make room), and reset the node's reconfiguration counter.
+func (u *SymmetricUpdater) Reconfigure(env SymmetricEnv, id topology.NodeID) ReconfigReport {
+	if u.Capacity <= 0 {
+		panic(fmt.Sprintf("core: SymmetricUpdater capacity %d", u.Capacity))
+	}
+	var rep ReconfigReport
+	net := env.Net()
+	led := env.Ledger(id)
+	self := net.Node(id)
+
+	// Rank candidates: online peers, excluding self.
+	ranked := led.Rank(u.Benefit, func(p topology.NodeID) bool {
+		return p == id || !env.Online(p)
+	})
+
+	// Lnew = the top-capacity peers; invitations go to those not
+	// currently neighbors (Algo 5: "invitation messages are sent to the
+	// ones that do not belong to the current list of neighbors").
+	// Following the Algo 4 ordering, eviction of the node's own worst
+	// neighbor happens only after a positive reply.
+	swaps := 0
+	for _, cand := range ranked {
+		if u.MaxSwaps > 0 && swaps >= u.MaxSwaps {
+			break
+		}
+		if len(rep.Invited) >= u.Capacity {
+			break
+		}
+		if self.Out.Contains(cand.Peer) {
+			continue
+		}
+		// If the outgoing list is full, the candidate must actually
+		// outrank the least beneficial current neighbor; ranked is
+		// sorted, so once one candidate fails this test none can pass.
+		var worst topology.NodeID = topology.None
+		if self.Out.Full() {
+			worst = led.Least(u.Benefit, self.Out.IDs())
+			worstScore := 0.0
+			if r := led.Get(worst); r != nil {
+				worstScore = u.Benefit.Score(r)
+			}
+			if cand.Score <= worstScore {
+				break
+			}
+		}
+		rep.Invited = append(rep.Invited, cand.Peer)
+		env.Control(netsim.MsgInvite, id, cand.Peer)
+		if !u.decideInvitation(env, id, cand.Peer) {
+			env.Control(netsim.MsgInviteReply, cand.Peer, id)
+			continue
+		}
+		// Positive reply: make room on both sides, then connect.
+		if worst != topology.None && self.Out.Full() {
+			u.evict(env, id, worst)
+			rep.Evicted = append(rep.Evicted, worst)
+		}
+		u.makeRoom(env, cand.Peer)
+		ok := net.Connect(id, cand.Peer)
+		env.Control(netsim.MsgInviteReply, cand.Peer, id)
+		if ok {
+			rep.Accepted = append(rep.Accepted, cand.Peer)
+			env.ResetCounter(cand.Peer)
+			swaps++
+		}
+	}
+	env.ResetCounter(id)
+	return rep
+}
+
+// evict implements the eviction message: the edge disappears in both
+// directions and the victim resets its statistics about the evictor
+// (Algo 5 Process_Eviction), so it will not attempt to reconnect soon.
+func (u *SymmetricUpdater) evict(env SymmetricEnv, from, victim topology.NodeID) {
+	env.Control(netsim.MsgEvict, from, victim)
+	env.Net().Disconnect(from, victim)
+	env.Ledger(victim).Reset(from)
+}
+
+// decideInvitation evaluates Algo 4's "On Neighboring Invitation
+// Arrival" decision at the invited node, without side effects.
+func (u *SymmetricUpdater) decideInvitation(env SymmetricEnv, inviter, invited topology.NodeID) bool {
+	if !env.Online(invited) || inviter == invited {
+		return false
+	}
+	node := env.Net().Node(invited)
+	if node.Out.Contains(inviter) {
+		return false // already neighbors; nothing to do
+	}
+	switch u.Invite {
+	case AlwaysAccept:
+		return true
+	case BenefitBased:
+		if !node.In.Full() {
+			return true
+		}
+		led := env.Ledger(invited)
+		worst := led.Least(u.Benefit, node.In.IDs())
+		worstScore := 0.0
+		if r := led.Get(worst); r != nil {
+			worstScore = u.Benefit.Score(r)
+		}
+		inviterScore := 0.0
+		if r := led.Get(inviter); r != nil {
+			inviterScore = u.Benefit.Score(r)
+		}
+		return inviterScore > worstScore
+	default:
+		panic(fmt.Sprintf("core: unknown invite policy %d", u.Invite))
+	}
+}
+
+// makeRoom evicts the invited node's least beneficial neighbor if its
+// outgoing list is full (Algo 5 Process_Invitation: "evict least
+// beneficial neighbor according to statistics").
+func (u *SymmetricUpdater) makeRoom(env SymmetricEnv, invited topology.NodeID) {
+	node := env.Net().Node(invited)
+	if node.Out.Full() {
+		worst := env.Ledger(invited).Least(u.Benefit, node.Out.IDs())
+		u.evict(env, invited, worst)
+	}
+}
+
+// DeliverInvitation processes an invitation at the invited node and
+// reports acceptance (Algo 4 "On Neighboring Invitation Arrival" /
+// Algo 5 Process_Invitation). On acceptance the invited node makes
+// room, the symmetric edge is created, and the invited node's
+// reconfiguration counter resets. The inviter must have room in its own
+// outgoing list (the Reconfigure loop guarantees this; external callers
+// such as the live runtime check before inviting).
+func (u *SymmetricUpdater) DeliverInvitation(env SymmetricEnv, inviter, invited topology.NodeID) bool {
+	if !u.decideInvitation(env, inviter, invited) {
+		env.Control(netsim.MsgInviteReply, invited, inviter)
+		return false
+	}
+	u.makeRoom(env, invited)
+	ok := env.Net().Connect(invited, inviter)
+	env.Control(netsim.MsgInviteReply, invited, inviter)
+	if ok {
+		env.ResetCounter(invited)
+	}
+	return ok
+}

@@ -1,0 +1,256 @@
+package digest
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+func TestBloomNoFalseNegatives(t *testing.T) {
+	b := NewBloom(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		b.Add(Key(i * 7919))
+	}
+	for i := 0; i < 1000; i++ {
+		if !b.Contains(Key(i * 7919)) {
+			t.Fatalf("false negative for key %d", i*7919)
+		}
+	}
+}
+
+func TestBloomFalsePositiveRate(t *testing.T) {
+	b := NewBloom(10000, 0.01)
+	for i := 0; i < 10000; i++ {
+		b.Add(Key(i))
+	}
+	fp := 0
+	const probes = 100000
+	for i := 0; i < probes; i++ {
+		if b.Contains(Key(1_000_000 + i)) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.03 {
+		t.Fatalf("false positive rate %v, want <= ~0.01", rate)
+	}
+}
+
+func TestBloomEmpty(t *testing.T) {
+	b := NewBloom(100, 0.01)
+	if b.Contains(42) {
+		t.Fatal("empty filter claims membership")
+	}
+	if b.Count() != 0 {
+		t.Fatal("empty filter count != 0")
+	}
+}
+
+func TestBloomCount(t *testing.T) {
+	b := NewBloom(100, 0.01)
+	b.Add(1)
+	b.Add(2)
+	if b.Count() != 2 {
+		t.Fatalf("Count = %d", b.Count())
+	}
+}
+
+func TestBloomFillRatioGrows(t *testing.T) {
+	b := NewBloom(1000, 0.01)
+	before := b.FillRatio()
+	for i := 0; i < 500; i++ {
+		b.Add(Key(i))
+	}
+	if b.FillRatio() <= before {
+		t.Fatal("fill ratio did not grow")
+	}
+	if b.FillRatio() > 1 {
+		t.Fatal("fill ratio above 1")
+	}
+}
+
+func TestBloomUnion(t *testing.T) {
+	a := NewBloom(1000, 0.01)
+	b := NewBloom(1000, 0.01)
+	a.Add(1)
+	b.Add(2)
+	a.Union(b)
+	if !a.Contains(1) || !a.Contains(2) {
+		t.Fatal("union lost keys")
+	}
+	if a.Count() != 2 {
+		t.Fatalf("union count = %d", a.Count())
+	}
+}
+
+func TestBloomUnionIncompatiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("incompatible union did not panic")
+		}
+	}()
+	NewBloom(100, 0.01).Union(NewBloom(100000, 0.001))
+}
+
+func TestBloomCloneIndependent(t *testing.T) {
+	a := NewBloom(100, 0.01)
+	a.Add(1)
+	c := a.Clone()
+	c.Add(2)
+	if a.Contains(2) && a.Count() == 2 {
+		t.Fatal("clone aliases parent")
+	}
+	if !c.Contains(1) || !c.Contains(2) {
+		t.Fatal("clone lost keys")
+	}
+}
+
+func TestBloomClear(t *testing.T) {
+	b := NewBloom(100, 0.01)
+	b.Add(7)
+	b.Clear()
+	if b.Contains(7) || b.Count() != 0 || b.FillRatio() != 0 {
+		t.Fatal("Clear incomplete")
+	}
+}
+
+func TestBloomPanicsOnBadArgs(t *testing.T) {
+	for name, f := range map[string]func(){
+		"n=0":  func() { NewBloom(0, 0.01) },
+		"fp=0": func() { NewBloom(10, 0) },
+		"fp=1": func() { NewBloom(10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestQuickBloomNoFalseNegatives(t *testing.T) {
+	f := func(keys []uint64) bool {
+		if len(keys) == 0 {
+			return true
+		}
+		b := NewBloom(len(keys), 0.01)
+		for _, k := range keys {
+			b.Add(Key(k))
+		}
+		for _, k := range keys {
+			if !b.Contains(Key(k)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalIndexPublishAndQuery(t *testing.T) {
+	ix := NewLocalIndex(2, 1000, 0.01)
+	d1 := NewBloom(1000, 0.01)
+	d1.Add(100)
+	d2 := NewBloom(1000, 0.01)
+	d2.Add(200)
+	ix.Publish(1, d1)
+	ix.Publish(2, d2)
+	if !ix.MayContain(100) || !ix.MayContain(200) {
+		t.Fatal("index lost published keys")
+	}
+	if ix.Peers() != 2 {
+		t.Fatalf("Peers = %d", ix.Peers())
+	}
+	if ix.Radius() != 2 {
+		t.Fatalf("Radius = %d", ix.Radius())
+	}
+}
+
+func TestLocalIndexHolders(t *testing.T) {
+	ix := NewLocalIndex(1, 1000, 0.001)
+	for peer := topology.NodeID(1); peer <= 3; peer++ {
+		d := NewBloom(1000, 0.001)
+		d.Add(Key(peer) * 1000)
+		ix.Publish(peer, d)
+	}
+	holders := ix.Holders(2000)
+	if len(holders) != 1 || holders[0] != 2 {
+		t.Fatalf("Holders = %v", holders)
+	}
+}
+
+func TestLocalIndexWithdraw(t *testing.T) {
+	ix := NewLocalIndex(1, 1000, 0.01)
+	d := NewBloom(1000, 0.01)
+	d.Add(77)
+	ix.Publish(1, d)
+	ix.Withdraw(1)
+	if ix.MayContain(77) {
+		t.Fatal("withdrawn peer's keys still indexed")
+	}
+	if ix.Peers() != 0 {
+		t.Fatal("peer count wrong after withdraw")
+	}
+	ix.Withdraw(99) // no-op must not panic
+}
+
+func TestLocalIndexRepublishReplaces(t *testing.T) {
+	ix := NewLocalIndex(1, 1000, 0.01)
+	d1 := NewBloom(1000, 0.01)
+	d1.Add(1)
+	ix.Publish(5, d1)
+	d2 := NewBloom(1000, 0.01)
+	d2.Add(2)
+	ix.Publish(5, d2)
+	if ix.MayContain(1) {
+		t.Fatal("republish did not replace old digest")
+	}
+	if !ix.MayContain(2) {
+		t.Fatal("republish lost new digest")
+	}
+}
+
+func TestLocalIndexPublishClones(t *testing.T) {
+	ix := NewLocalIndex(1, 1000, 0.01)
+	d := NewBloom(1000, 0.01)
+	ix.Publish(1, d)
+	d.Add(42) // mutate after publish
+	if ix.MayContain(42) {
+		t.Fatal("index aliases the published digest")
+	}
+}
+
+func TestLocalIndexNegativeRadiusPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative radius did not panic")
+		}
+	}()
+	NewLocalIndex(-1, 100, 0.01)
+}
+
+func BenchmarkBloomAdd(b *testing.B) {
+	f := NewBloom(100000, 0.01)
+	for i := 0; i < b.N; i++ {
+		f.Add(Key(i))
+	}
+}
+
+func BenchmarkBloomContains(b *testing.B) {
+	f := NewBloom(100000, 0.01)
+	s := rng.New(1)
+	for i := 0; i < 100000; i++ {
+		f.Add(Key(s.Uint64()))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Contains(Key(i))
+	}
+}

@@ -1,0 +1,98 @@
+package digest
+
+import (
+	"fmt"
+
+	"repro/internal/topology"
+)
+
+// LocalIndex implements Yang & Garcia-Molina's Local Indices technique
+// as the paper describes it: "each node maintains an index over the
+// data of all peers within r hops of itself, allowing each search to
+// terminate after r hops". The index here is a per-peer Bloom digest
+// plus a merged r-hop view, so a node can answer membership queries on
+// behalf of its r-hop neighborhood without forwarding.
+type LocalIndex struct {
+	radius int
+	// perPeer holds each contributing peer's own digest, so entries can
+	// be replaced when a peer re-publishes or leaves.
+	perPeer map[topology.NodeID]*Bloom
+	merged  *Bloom
+	geomN   int
+	geomFP  float64
+	stale   bool
+}
+
+// NewLocalIndex builds an index of the given hop radius. n and fp size
+// the per-peer Bloom digests.
+func NewLocalIndex(radius, n int, fp float64) *LocalIndex {
+	if radius < 0 {
+		panic(fmt.Sprintf("digest: negative index radius %d", radius))
+	}
+	return &LocalIndex{
+		radius:  radius,
+		perPeer: make(map[topology.NodeID]*Bloom),
+		merged:  NewBloom(n, fp),
+		geomN:   n,
+		geomFP:  fp,
+	}
+}
+
+// Radius returns the hop radius the index covers.
+func (ix *LocalIndex) Radius() int { return ix.radius }
+
+// Publish installs (or replaces) peer's digest. The caller passes the
+// peer's own content digest; LocalIndex keeps its own clone.
+func (ix *LocalIndex) Publish(peer topology.NodeID, d *Bloom) {
+	ix.perPeer[peer] = d.Clone()
+	ix.stale = true
+}
+
+// Withdraw removes peer's contribution (peer left or went off-line).
+func (ix *LocalIndex) Withdraw(peer topology.NodeID) {
+	if _, ok := ix.perPeer[peer]; ok {
+		delete(ix.perPeer, peer)
+		ix.stale = true
+	}
+}
+
+// Peers returns the number of contributing peers.
+func (ix *LocalIndex) Peers() int { return len(ix.perPeer) }
+
+// rebuild recomputes the merged digest from per-peer digests.
+func (ix *LocalIndex) rebuild() {
+	ix.merged = NewBloom(ix.geomN, ix.geomFP)
+	for _, d := range ix.perPeer {
+		// Per-peer digests may have different geometry than the merged
+		// one if the application sized them differently; fall back to
+		// key-less union only when identical.
+		if d.Bits() == ix.merged.Bits() && d.K() == ix.merged.K() {
+			ix.merged.Union(d)
+		} else {
+			panic("digest: per-peer digest geometry differs from index geometry")
+		}
+	}
+	ix.stale = false
+}
+
+// MayContain reports whether any indexed peer may hold key. No false
+// negatives: if every peer published a complete digest, a false here
+// proves the key is not within the radius.
+func (ix *LocalIndex) MayContain(key Key) bool {
+	if ix.stale {
+		ix.rebuild()
+	}
+	return ix.merged.Contains(key)
+}
+
+// Holders returns the peers whose individual digests claim the key, in
+// unspecified order. Some may be false positives.
+func (ix *LocalIndex) Holders(key Key) []topology.NodeID {
+	var out []topology.NodeID
+	for id, d := range ix.perPeer {
+		if d.Contains(key) {
+			out = append(out, id)
+		}
+	}
+	return out
+}

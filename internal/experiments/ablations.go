@@ -1,0 +1,310 @@
+package experiments
+
+import (
+	"sync"
+
+	"repro/internal/gnutella"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/peerolap"
+	"repro/internal/webcache"
+	"repro/internal/workload"
+)
+
+// This file implements the ablation experiments of DESIGN.md: the
+// orthogonal techniques of [10] composed with reconfiguration, the
+// asymmetric-vs-symmetric update regimes, benefit-function sensitivity,
+// and the two additional case studies (web caching, PeerOlap).
+
+// VariantRow summarizes one gnutella variant run.
+type VariantRow struct {
+	Name     string
+	Hits     float64
+	Messages uint64
+	// MeanFirstResultMs is the average first-result delay over
+	// satisfied queries, in milliseconds.
+	MeanFirstResultMs float64
+}
+
+// runVariants executes a set of named gnutella configurations
+// concurrently and tabulates them.
+func runVariants(names []string, cfgs []gnutella.Config) []VariantRow {
+	rows := make([]VariantRow, len(cfgs))
+	var wg sync.WaitGroup
+	for i := range cfgs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := gnutella.New(cfgs[i]).Run()
+			rows[i] = VariantRow{
+				Name:              names[i],
+				Hits:              m.Hits.Total(),
+				Messages:          m.Meter.Total(netsim.MsgQuery),
+				MeanFirstResultMs: m.FirstResultDelay.Mean() * 1000,
+			}
+		}()
+	}
+	wg.Wait()
+	return rows
+}
+
+// VariantTable renders variant rows.
+func VariantTable(title string, rows []VariantRow) *metrics.Table {
+	t := metrics.NewTable(title, "variant", "total hits", "query messages", "first result (ms)")
+	for _, r := range rows {
+		t.AddRow(r.Name, r.Hits, r.Messages, r.MeanFirstResultMs)
+	}
+	return t
+}
+
+// DirectedBFT compares flooding, Directed BFT (K=2) and random-2
+// forwarding on the dynamic system — technique (ii) of [10], which the
+// paper says can be employed "to further reduce the query cost".
+func DirectedBFT(scale Scale, seed uint64) []VariantRow {
+	base := scale.config(gnutella.Dynamic, 3, seed)
+	directed := base
+	directed.Variant.Forward = gnutella.ForwardDirected2
+	random := base
+	random.Variant.Forward = gnutella.ForwardRandom2
+	return runVariants(
+		[]string{"flood", "directed-bft-2", "random-2"},
+		[]gnutella.Config{base, directed, random},
+	)
+}
+
+// IterDeepening compares one full-depth flood against the iterative
+// deepening schedule {1, TTL} — technique (i) of [10].
+func IterDeepening(scale Scale, seed uint64) []VariantRow {
+	base := scale.config(gnutella.Dynamic, 3, seed)
+	deep := base
+	deep.Variant.IterativeDeepening = []int{1, 3}
+	deep.Variant.DeepeningTimeout = 2.0
+	return runVariants(
+		[]string{"flood-ttl3", "deepening-1-3"},
+		[]gnutella.Config{base, deep},
+	)
+}
+
+// LocalIndices compares the plain dynamic flood against technique
+// (iii) of [10]: radius-1 local indices with the flood shortened by one
+// hop. Same nominal coverage, one hop less propagation.
+func LocalIndices(scale Scale, seed uint64) []VariantRow {
+	base := scale.config(gnutella.Dynamic, 2, seed)
+	indexed := base
+	indexed.Variant.UseLocalIndices = true
+	return runVariants(
+		[]string{"flood-ttl2", "local-indices-r1"},
+		[]gnutella.Config{base, indexed},
+	)
+}
+
+// AsymmetricUpdate compares the paper's symmetric (Algo 4) update with
+// the unilateral asymmetric (Algo 3) regime on the same workload.
+func AsymmetricUpdate(scale Scale, seed uint64) []VariantRow {
+	static := scale.config(gnutella.Static, 2, seed)
+	symmetric := scale.config(gnutella.Dynamic, 2, seed)
+	asymmetric := symmetric
+	asymmetric.Variant.Update = gnutella.AsymmetricUpdate
+	return runVariants(
+		[]string{"static", "dynamic-symmetric", "dynamic-asymmetric"},
+		[]gnutella.Config{static, symmetric, asymmetric},
+	)
+}
+
+// BenefitFunctions measures the sensitivity of the dynamic gain to the
+// benefit definition (Section 3.4: "the benefit function should capture
+// the general goals and characteristics of the system").
+func BenefitFunctions(scale Scale, seed uint64) []VariantRow {
+	br := scale.config(gnutella.Dynamic, 2, seed)
+	hits := br
+	hits.Variant.Benefit = gnutella.BenefitHitCount
+	lat := br
+	lat.Variant.Benefit = gnutella.BenefitHitsPerLatency
+	return runVariants(
+		[]string{"B/R (paper)", "hit-count", "hits-per-latency"},
+		[]gnutella.Config{br, hits, lat},
+	)
+}
+
+// DriftRow is one sampled hour of the preference-drift experiment.
+type DriftRow struct {
+	Hour                    int
+	StaticHits, DynamicHits float64
+	DynamicDecayHits        float64
+}
+
+// Drift evaluates the framework's central motivation — following
+// "changes in access patterns": at mid-run every user's music
+// preferences change; the static network cannot react, the dynamic one
+// re-adapts, and hourly ledger decay (aging out stale statistics)
+// accelerates the recovery.
+func Drift(scale Scale, seed uint64) []DriftRow {
+	base := scale.config(gnutella.Static, 2, seed)
+	duration := base.DurationHours
+	at := duration / 2
+	mk := func(mode gnutella.Mode, decay float64) gnutella.Config {
+		c := scale.config(mode, 2, seed)
+		c.DriftAtHour = at
+		c.DriftFraction = 1.0
+		c.LedgerDecayPerHour = decay
+		return c
+	}
+	var sm, dm, dd *gnutella.Metrics
+	var wg sync.WaitGroup
+	for _, job := range []struct {
+		cfg gnutella.Config
+		out **gnutella.Metrics
+	}{
+		{mk(gnutella.Static, 0), &sm},
+		{mk(gnutella.Dynamic, 0), &dm},
+		{mk(gnutella.Dynamic, 0.7), &dd},
+	} {
+		job := job
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			*job.out = gnutella.New(job.cfg).Run()
+		}()
+	}
+	wg.Wait()
+	var rows []DriftRow
+	for h := 0; h < duration; h++ {
+		rows = append(rows, DriftRow{
+			Hour:             h,
+			StaticHits:       sm.Hits.Bucket(h),
+			DynamicHits:      dm.Hits.Bucket(h),
+			DynamicDecayHits: dd.Hits.Bucket(h),
+		})
+	}
+	return rows
+}
+
+// DriftTable renders the drift series.
+func DriftTable(rows []DriftRow) *metrics.Table {
+	t := metrics.NewTable("Extension: preference drift at mid-run (hits per hour, hops=2)",
+		"hour", "static", "dynamic", "dynamic+decay")
+	for _, r := range rows {
+		t.AddRow(r.Hour, r.StaticHits, r.DynamicHits, r.DynamicDecayHits)
+	}
+	return t
+}
+
+// WebCacheRow is one row of the web-caching experiment.
+type WebCacheRow struct {
+	Name             string
+	NeighborHitRatio float64
+	MeanLatencyMs    float64
+	OriginFetches    float64
+}
+
+// WebCache compares static and dynamic Squid-like proxy cooperation,
+// with and without digest guidance.
+func WebCache(scale Scale, seed uint64) []WebCacheRow {
+	cfg := func(mode webcache.Mode, digests bool) webcache.Config {
+		c := webcache.DefaultConfig(mode)
+		if scale == CI {
+			c.Web = workload.WebConfig{
+				Pages: 5000, Interests: 10, PopularityTheta: 0.9,
+				Proxies: 30, LocalFraction: 0.7, RequestsPerHour: 600,
+			}
+			c.CacheCapacity = 100
+			c.DurationHours = 12
+		}
+		c.UseDigests = digests
+		c.Seed = seed
+		return c
+	}
+	names := []string{"static", "dynamic", "dynamic+digests"}
+	cfgs := []webcache.Config{
+		cfg(webcache.Static, false),
+		cfg(webcache.Dynamic, false),
+		cfg(webcache.Dynamic, true),
+	}
+	rows := make([]WebCacheRow, len(cfgs))
+	var wg sync.WaitGroup
+	for i := range cfgs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := webcache.New(cfgs[i]).Run()
+			half := cfgs[i].DurationHours / 2
+			rows[i] = WebCacheRow{
+				Name:             names[i],
+				NeighborHitRatio: m.NeighborHitRatio(half, cfgs[i].DurationHours),
+				MeanLatencyMs:    m.Latency.Mean() * 1000,
+				OriginFetches:    m.OriginFetches.Total(),
+			}
+		}()
+	}
+	wg.Wait()
+	return rows
+}
+
+// WebCacheTable renders the web-caching rows.
+func WebCacheTable(rows []WebCacheRow) *metrics.Table {
+	t := metrics.NewTable("Case study: distributed web caching (Squid-like, hops=1)",
+		"variant", "neighbor-hit ratio", "mean latency (ms)", "origin fetches")
+	for _, r := range rows {
+		t.AddRow(r.Name, r.NeighborHitRatio, r.MeanLatencyMs, r.OriginFetches)
+	}
+	return t
+}
+
+// PeerOlapRow is one row of the PeerOlap experiment.
+type PeerOlapRow struct {
+	Name            string
+	MeanQueryCostS  float64
+	PeerHitRatio    float64
+	WarehouseChunks float64
+}
+
+// PeerOlap compares static and dynamic chunk-cache cooperation.
+func PeerOlap(scale Scale, seed uint64) []PeerOlapRow {
+	cfg := func(mode peerolap.Mode) peerolap.Config {
+		c := peerolap.DefaultConfig(mode)
+		if scale == CI {
+			c.Olap = workload.OlapConfig{
+				Chunks: 4800, Regions: 12, PopularityTheta: 0.9,
+				Peers: 60, LocalFraction: 0.8, ChunksPerQueryMean: 4,
+				QueriesPerHour: 30,
+			}
+			c.CacheChunks = 150
+			c.DurationHours = 16
+		}
+		c.Seed = seed
+		return c
+	}
+	names := []string{"static", "dynamic"}
+	cfgs := []peerolap.Config{cfg(peerolap.Static), cfg(peerolap.Dynamic)}
+	rows := make([]PeerOlapRow, len(cfgs))
+	var wg sync.WaitGroup
+	for i := range cfgs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := peerolap.New(cfgs[i]).Run()
+			half := cfgs[i].DurationHours / 2
+			rows[i] = PeerOlapRow{
+				Name:            names[i],
+				MeanQueryCostS:  m.QueryCost.Mean(),
+				PeerHitRatio:    m.PeerHitRatio(half, cfgs[i].DurationHours),
+				WarehouseChunks: m.WarehouseChunks.Total(),
+			}
+		}()
+	}
+	wg.Wait()
+	return rows
+}
+
+// PeerOlapTable renders the PeerOlap rows.
+func PeerOlapTable(rows []PeerOlapRow) *metrics.Table {
+	t := metrics.NewTable("Case study: PeerOlap chunk caching",
+		"variant", "mean query cost (s)", "peer-hit ratio", "warehouse chunks")
+	for _, r := range rows {
+		t.AddRow(r.Name, r.MeanQueryCostS, r.PeerHitRatio, r.WarehouseChunks)
+	}
+	return t
+}

@@ -1,0 +1,262 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section 4.3) plus the ablations listed in
+// DESIGN.md. Each Fig* function runs the required simulations and
+// returns the series in the same row shape the paper plots; the CLI
+// (cmd/repro), the benchmark harness (bench_test.go) and the
+// integration tests all consume these.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/gnutella"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+)
+
+// Scale selects the experiment size.
+type Scale uint8
+
+const (
+	// Full is the paper's scale: 2,000 users, 200,000 songs, 4 days.
+	Full Scale = iota
+	// CI is a 10x-reduced scale with the same shape: 200 users, 20,000
+	// songs, 24 hours. Suitable for tests and benchmarks.
+	CI
+)
+
+// String implements fmt.Stringer.
+func (s Scale) String() string {
+	switch s {
+	case Full:
+		return "full"
+	case CI:
+		return "ci"
+	default:
+		return fmt.Sprintf("Scale(%d)", uint8(s))
+	}
+}
+
+// ParseScale converts a CLI flag value.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "full":
+		return Full, nil
+	case "ci":
+		return CI, nil
+	default:
+		return 0, fmt.Errorf("experiments: unknown scale %q (want full or ci)", s)
+	}
+}
+
+// config returns the mode/TTL configuration at the given scale.
+func (s Scale) config(mode gnutella.Mode, ttl int, seed uint64) gnutella.Config {
+	var c gnutella.Config
+	if s == Full {
+		c = gnutella.DefaultConfig(mode, ttl)
+	} else {
+		c = gnutella.CIConfig(mode, ttl)
+	}
+	c.Seed = seed
+	return c
+}
+
+// reportHours returns the paper's sampling hours for the scale: from
+// steady state to the end in five steps (full scale: 12, 27, 42, 57,
+// 72, 87).
+func (s Scale) reportHours() []int {
+	if s == Full {
+		return metrics.SampleHours(12, 15, 87)
+	}
+	return metrics.SampleHours(3, 4, 23)
+}
+
+// warmupHours returns the steady-state cutoff (results before it are
+// discarded, "we present the results after the 12th hour").
+func (s Scale) warmupHours() int {
+	if s == Full {
+		return 12
+	}
+	return 3
+}
+
+// runPair executes the static and dynamic variants concurrently —
+// independent simulations parallelize trivially.
+func runPair(static, dynamic gnutella.Config) (sm, dm *gnutella.Metrics) {
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		sm = gnutella.New(static).Run()
+	}()
+	go func() {
+		defer wg.Done()
+		dm = gnutella.New(dynamic).Run()
+	}()
+	wg.Wait()
+	return sm, dm
+}
+
+// HourlyRow is one sampled hour of a Figures 1/2 series.
+type HourlyRow struct {
+	Hour                    int
+	StaticHits, DynamicHits float64
+	StaticMsgs, DynamicMsgs float64
+}
+
+// FigSeries is the output of a Figure 1 or Figure 2 run.
+type FigSeries struct {
+	TTL  int
+	Rows []HourlyRow
+	// Totals over the post-warmup window.
+	StaticHitsTotal, DynamicHitsTotal float64
+	StaticMsgsTotal, DynamicMsgsTotal float64
+}
+
+// HitsTable renders the hits series (Figure 1(a) / 2(a)).
+func (f *FigSeries) HitsTable(name string) *metrics.Table {
+	t := metrics.NewTable(name, "hour", "Gnutella", "Dynamic_Gnutella")
+	for _, r := range f.Rows {
+		t.AddRow(r.Hour, r.StaticHits, r.DynamicHits)
+	}
+	return t
+}
+
+// MsgsTable renders the overhead series (Figure 1(b) / 2(b)).
+func (f *FigSeries) MsgsTable(name string) *metrics.Table {
+	t := metrics.NewTable(name, "hour", "Gnutella", "Dynamic_Gnutella")
+	for _, r := range f.Rows {
+		t.AddRow(r.Hour, r.StaticMsgs, r.DynamicMsgs)
+	}
+	return t
+}
+
+// FigHourly runs the Figure 1 (ttl=2) or Figure 2 (ttl=4) experiment:
+// hits per hour and query messages per hour for both variants.
+func FigHourly(scale Scale, ttl int, seed uint64) *FigSeries {
+	sm, dm := runPair(scale.config(gnutella.Static, ttl, seed), scale.config(gnutella.Dynamic, ttl, seed))
+	out := &FigSeries{TTL: ttl}
+	for _, h := range scale.reportHours() {
+		out.Rows = append(out.Rows, HourlyRow{
+			Hour:        h,
+			StaticHits:  sm.Hits.Bucket(h),
+			DynamicHits: dm.Hits.Bucket(h),
+			StaticMsgs:  float64(sm.Meter.Bucket(netsim.MsgQuery, h)),
+			DynamicMsgs: float64(dm.Meter.Bucket(netsim.MsgQuery, h)),
+		})
+	}
+	from := scale.warmupHours()
+	end := sm.Hits.Len()
+	if l := dm.Hits.Len(); l > end {
+		end = l
+	}
+	out.StaticHitsTotal = sm.Hits.Window(from, end)
+	out.DynamicHitsTotal = dm.Hits.Window(from, end)
+	for b := from; b < end; b++ {
+		out.StaticMsgsTotal += float64(sm.Meter.Bucket(netsim.MsgQuery, b))
+		out.DynamicMsgsTotal += float64(dm.Meter.Bucket(netsim.MsgQuery, b))
+	}
+	return out
+}
+
+// Fig1 is Figure 1: hops = 2.
+func Fig1(scale Scale, seed uint64) *FigSeries { return FigHourly(scale, 2, seed) }
+
+// Fig2 is Figure 2: hops = 4.
+func Fig2(scale Scale, seed uint64) *FigSeries { return FigHourly(scale, 4, seed) }
+
+// Fig3aRow is one TTL column of Figure 3(a).
+type Fig3aRow struct {
+	TTL int
+	// Mean delay (milliseconds, as the paper's y-axis) from query issue
+	// to first result, over satisfied queries.
+	StaticDelayMs, DynamicDelayMs float64
+	// Total results obtained over the whole run (the numbers printed
+	// above the paper's columns).
+	StaticResults, DynamicResults uint64
+}
+
+// Fig3a runs the response-time experiment: TTL ∈ {1, 2, 3, 4}, both
+// variants.
+func Fig3a(scale Scale, seed uint64) []Fig3aRow {
+	rows := make([]Fig3aRow, 4)
+	var wg sync.WaitGroup
+	for i, ttl := range []int{1, 2, 3, 4} {
+		i, ttl := i, ttl
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sm, dm := runPair(scale.config(gnutella.Static, ttl, seed), scale.config(gnutella.Dynamic, ttl, seed))
+			rows[i] = Fig3aRow{
+				TTL:            ttl,
+				StaticDelayMs:  sm.FirstResultDelay.Mean() * 1000,
+				DynamicDelayMs: dm.FirstResultDelay.Mean() * 1000,
+				StaticResults:  sm.TotalResults,
+				DynamicResults: dm.TotalResults,
+			}
+		}()
+	}
+	wg.Wait()
+	return rows
+}
+
+// Fig3aTable renders Figure 3(a).
+func Fig3aTable(rows []Fig3aRow) *metrics.Table {
+	t := metrics.NewTable("Figure 3(a): average response time for first result",
+		"hops", "Gnutella delay (ms)", "Dynamic delay (ms)", "Gnutella results", "Dynamic results")
+	for _, r := range rows {
+		t.AddRow(r.TTL, r.StaticDelayMs, r.DynamicDelayMs, r.StaticResults, r.DynamicResults)
+	}
+	return t
+}
+
+// Fig3bRow is one reconfiguration-threshold column of Figure 3(b).
+type Fig3bRow struct {
+	Threshold int
+	// DynamicHits is the total hits over the full run at this θ.
+	DynamicHits float64
+	// StaticHits is the flat baseline the paper draws across the chart.
+	StaticHits float64
+}
+
+// Fig3b runs the reconfiguration-threshold sweep: θ ∈ {1, 2, 4, 8, 16}
+// at TTL 2, against the static baseline.
+func Fig3b(scale Scale, seed uint64) []Fig3bRow {
+	thresholds := []int{1, 2, 4, 8, 16}
+	rows := make([]Fig3bRow, len(thresholds))
+	var staticHits float64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m := gnutella.New(scale.config(gnutella.Static, 2, seed)).Run()
+		staticHits = m.Hits.Total()
+	}()
+	for i, th := range thresholds {
+		i, th := i, th
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cfg := scale.config(gnutella.Dynamic, 2, seed)
+			cfg.ReconfigThreshold = th
+			m := gnutella.New(cfg).Run()
+			rows[i] = Fig3bRow{Threshold: th, DynamicHits: m.Hits.Total()}
+		}()
+	}
+	wg.Wait()
+	for i := range rows {
+		rows[i].StaticHits = staticHits
+	}
+	return rows
+}
+
+// Fig3bTable renders Figure 3(b).
+func Fig3bTable(rows []Fig3bRow) *metrics.Table {
+	t := metrics.NewTable("Figure 3(b): effect of reconfiguration period (total hits)",
+		"threshold", "Gnutella", "Dynamic_Gnutella")
+	for _, r := range rows {
+		t.AddRow(r.Threshold, r.StaticHits, r.DynamicHits)
+	}
+	return t
+}

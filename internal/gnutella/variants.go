@@ -1,0 +1,234 @@
+package gnutella
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/trace"
+)
+
+// This file holds the ablation knobs of DESIGN.md: alternative update
+// regimes, benefit functions, forward policies and the iterative-
+// deepening driver. The headline figures use the defaults (symmetric
+// always-accept updates, cumulative B/R benefit, flooding); each knob
+// answers one "what if" the paper raises in Sections 3-4.
+
+// UpdateMode selects the neighbor-update regime for the dynamic
+// variant.
+type UpdateMode uint8
+
+const (
+	// SymmetricUpdate is Algo 4/5: invitation-based agreement, the
+	// paper's choice for file sharing ("the symmetric relationship is
+	// imposed by the fact that each user tries independently to
+	// maximize his/her own potential").
+	SymmetricUpdate UpdateMode = iota
+	// AsymmetricUpdate is Algo 3 applied to the same workload: nodes
+	// re-target their outgoing lists unilaterally. The paper argues
+	// this unbalances file sharing — nodes with many songs serve
+	// everyone and get nothing back; the ablation quantifies it.
+	AsymmetricUpdate
+)
+
+// String implements fmt.Stringer.
+func (m UpdateMode) String() string {
+	switch m {
+	case SymmetricUpdate:
+		return "symmetric"
+	case AsymmetricUpdate:
+		return "asymmetric"
+	default:
+		return fmt.Sprintf("UpdateMode(%d)", uint8(m))
+	}
+}
+
+// BenefitKind selects the ranking function for neighbor updates.
+type BenefitKind uint8
+
+const (
+	// BenefitBR is the paper's Section 4 benefit: Σ B/R.
+	BenefitBR BenefitKind = iota
+	// BenefitHitCount ranks by answered queries only, ignoring
+	// bandwidth and result-list size.
+	BenefitHitCount
+	// BenefitHitsPerLatency ranks by hits over mean observed latency.
+	BenefitHitsPerLatency
+)
+
+// String implements fmt.Stringer.
+func (k BenefitKind) String() string {
+	switch k {
+	case BenefitBR:
+		return "B/R"
+	case BenefitHitCount:
+		return "hit-count"
+	case BenefitHitsPerLatency:
+		return "hits-per-latency"
+	default:
+		return fmt.Sprintf("BenefitKind(%d)", uint8(k))
+	}
+}
+
+// benefit materializes the kind.
+func (k BenefitKind) benefit() stats.Benefit {
+	switch k {
+	case BenefitBR:
+		return stats.Cumulative{}
+	case BenefitHitCount:
+		return stats.HitCount{}
+	case BenefitHitsPerLatency:
+		return stats.HitsPerLatency{}
+	default:
+		panic(fmt.Sprintf("gnutella: unknown benefit kind %d", k))
+	}
+}
+
+// ForwardKind selects the query propagation policy.
+type ForwardKind uint8
+
+const (
+	// ForwardFlood sends to every neighbor (the case study's choice).
+	ForwardFlood ForwardKind = iota
+	// ForwardDirected2 is Directed BFT with K=2: each node forwards to
+	// its two most beneficial neighbors only.
+	ForwardDirected2
+	// ForwardRandom2 forwards to two uniformly chosen neighbors — the
+	// control for Directed BFT (same fan-out, no history).
+	ForwardRandom2
+)
+
+// String implements fmt.Stringer.
+func (k ForwardKind) String() string {
+	switch k {
+	case ForwardFlood:
+		return "flood"
+	case ForwardDirected2:
+		return "directed-bft-2"
+	case ForwardRandom2:
+		return "random-2"
+	default:
+		return fmt.Sprintf("ForwardKind(%d)", uint8(k))
+	}
+}
+
+// Variant bundles the ablation knobs; the zero value reproduces the
+// paper's case study exactly.
+type Variant struct {
+	// Update selects the neighbor-update regime (dynamic mode only).
+	Update UpdateMode
+	// Benefit selects the ranking function (dynamic mode only).
+	Benefit BenefitKind
+	// Forward selects the propagation policy.
+	Forward ForwardKind
+	// IterativeDeepening, when non-empty, replaces the single TTL-bound
+	// flood with successive cascades at these depths (strictly
+	// increasing; the last entry caps at the configured TTL semantics
+	// of [10]).
+	IterativeDeepening []int
+	// DeepeningTimeout is the per-cycle wait in seconds before the next
+	// deepening cycle starts (only with IterativeDeepening).
+	DeepeningTimeout float64
+	// TrialPeriodHours, when positive, runs Section 3.4's solution (a):
+	// accepted invitations are provisional; a guest that proved no
+	// benefit within the period is evicted. Expiry is checked hourly.
+	TrialPeriodHours float64
+	// UseLocalIndices enables technique (iii) of [10] with radius 1:
+	// every node answers on behalf of its direct neighbors (whose
+	// libraries it indexes), and searches run with TTL−1 — same
+	// coverage, one hop less flooding.
+	UseLocalIndices bool
+}
+
+// applyVariant installs the variant's policies into a constructed Sim.
+// Called at the end of New.
+func (s *Sim) applyVariant() {
+	v := s.cfg.Variant
+	s.updater.Benefit = v.Benefit.benefit()
+
+	switch v.Forward {
+	case ForwardFlood:
+		s.cascade.Forward = core.Flood{}
+	case ForwardDirected2:
+		s.cascade.Forward = core.DirectedBFT{K: 2, Benefit: v.Benefit.benefit()}
+		s.cascade.Ledger = func(id topology.NodeID) *stats.Ledger { return s.ledgers[id] }
+	case ForwardRandom2:
+		s.cascade.Forward = core.RandomK{K: 2, Intn: s.topoStream.Intn}
+	default:
+		panic(fmt.Sprintf("gnutella: unknown forward kind %d", v.Forward))
+	}
+	if len(v.IterativeDeepening) > 0 {
+		s.deepening = &core.IterativeDeepening{
+			Depths:       v.IterativeDeepening,
+			CycleTimeout: v.DeepeningTimeout,
+		}
+	}
+	if v.TrialPeriodHours > 0 {
+		s.trials = &core.TrialTracker{
+			Threshold: v.TrialPeriodHours * 3600,
+			Benefit:   v.Benefit.benefit(),
+			Updater:   s.updater,
+		}
+	}
+	if v.UseLocalIndices {
+		s.cascade.Index = core.IndexFunc(func(at topology.NodeID, key core.Key) []topology.NodeID {
+			var holders []topology.NodeID
+			for _, nb := range s.network.Out(at) {
+				if s.online[nb] && s.users[nb].Has(key) {
+					holders = append(holders, nb)
+				}
+			}
+			return holders
+		})
+	}
+}
+
+// runSearch executes one search according to the variant (plain
+// cascade or iterative deepening; local indices shorten the flood by
+// the index radius with unchanged coverage).
+func (s *Sim) runSearch(q *core.Query) *core.Outcome {
+	if s.cascade.Index != nil {
+		q.TTL -= s.cascade.Index.Radius()
+		if q.TTL < 0 {
+			q.TTL = 0
+		}
+	}
+	if s.deepening != nil {
+		return s.deepening.Run(s.cascade, q)
+	}
+	return s.cascade.Run(q)
+}
+
+// applyUpdate dispatches the reconfiguration to the selected regime.
+func (s *Sim) applyUpdate(id topology.NodeID) {
+	switch s.cfg.Variant.Update {
+	case SymmetricUpdate:
+		rep := s.updater.Reconfigure((*updateEnv)(s), id)
+		if rep.Changed() {
+			s.met.Reconfigurations++
+			s.emit(trace.Event{Kind: trace.KindReconfig, Node: id, N: len(rep.Accepted) + len(rep.Evicted)})
+		}
+		if s.trials != nil {
+			// Each acceptor hosted our node without prior statistics;
+			// the relationship is on probation.
+			for _, host := range rep.Accepted {
+				s.trials.Begin(s.engine.Now(), host, id)
+			}
+		}
+	case AsymmetricUpdate:
+		// Algo 3: unilateral outgoing-list re-targeting. The network
+		// was built symmetric for the default regime, so the ablation
+		// uses a dedicated asymmetric network (see New).
+		desired := core.PlanAsymmetric(s.ledgers[id], s.updater.Benefit, s.cfg.Neighbors,
+			s.network.Node(id).Out.IDs(),
+			func(p topology.NodeID) bool { return p != id && s.online[p] })
+		added, removed := core.ApplyOutList(s.network, id, desired)
+		s.reqCount[id] = 0
+		if len(added) > 0 || len(removed) > 0 {
+			s.met.Reconfigurations++
+		}
+	default:
+		panic(fmt.Sprintf("gnutella: unknown update mode %d", s.cfg.Variant.Update))
+	}
+}

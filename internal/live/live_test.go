@@ -1,0 +1,327 @@
+package live
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+// cluster spins up n in-process nodes on a shared ChanTransport.
+func cluster(t *testing.T, n, neighbors, ttl, threshold int) ([]*Node, *ChanTransport) {
+	t.Helper()
+	tr := NewChanTransport()
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		nodes[i] = NewNode(Config{
+			ID:                topology.NodeID(i),
+			Neighbors:         neighbors,
+			TTL:               ttl,
+			Transport:         tr,
+			Store:             MapStore{},
+			Class:             netsim.Cable,
+			ReconfigThreshold: threshold,
+		})
+		tr.Attach(nodes[i])
+		nodes[i].Start()
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+	})
+	return nodes, tr
+}
+
+// link wires a symmetric edge for bootstrap.
+func link(a, b *Node) {
+	a.AddNeighbor(b.ID())
+	b.AddNeighbor(a.ID())
+}
+
+func TestMapStore(t *testing.T) {
+	s := MapStore{}
+	if s.Has(1) {
+		t.Fatal("empty store has key")
+	}
+	s.Add(1)
+	if !s.Has(1) {
+		t.Fatal("store lost key")
+	}
+}
+
+func TestSearchFindsDirectNeighbor(t *testing.T) {
+	nodes, _ := cluster(t, 3, 4, 2, 0)
+	nodes[1].cfg.Store.(MapStore).Add(42)
+	link(nodes[0], nodes[1])
+	link(nodes[1], nodes[2])
+	hits := nodes[0].Search(42, 200*time.Millisecond)
+	if len(hits) != 1 || hits[0].Holder != 1 {
+		t.Fatalf("hits: %+v", hits)
+	}
+	if hits[0].Hops != 1 {
+		t.Fatalf("hops = %d", hits[0].Hops)
+	}
+	if hits[0].Class != netsim.Cable {
+		t.Fatalf("class = %v", hits[0].Class)
+	}
+}
+
+func TestSearchTraversesMultipleHops(t *testing.T) {
+	nodes, _ := cluster(t, 4, 4, 3, 0)
+	// Chain 0-1-2-3; content at 3 (three hops away).
+	link(nodes[0], nodes[1])
+	link(nodes[1], nodes[2])
+	link(nodes[2], nodes[3])
+	nodes[3].cfg.Store.(MapStore).Add(7)
+	hits := nodes[0].Search(7, 300*time.Millisecond)
+	if len(hits) != 1 || hits[0].Holder != 3 || hits[0].Hops != 3 {
+		t.Fatalf("hits: %+v", hits)
+	}
+}
+
+func TestSearchRespectsTTL(t *testing.T) {
+	nodes, _ := cluster(t, 4, 4, 2, 0)
+	link(nodes[0], nodes[1])
+	link(nodes[1], nodes[2])
+	link(nodes[2], nodes[3])
+	nodes[3].cfg.Store.(MapStore).Add(7)
+	if hits := nodes[0].Search(7, 200*time.Millisecond); len(hits) != 0 {
+		t.Fatalf("TTL 2 found a 3-hop holder: %+v", hits)
+	}
+}
+
+func TestSearchMiss(t *testing.T) {
+	nodes, _ := cluster(t, 2, 4, 2, 0)
+	link(nodes[0], nodes[1])
+	if hits := nodes[0].Search(999, 100*time.Millisecond); len(hits) != 0 {
+		t.Fatalf("miss returned hits: %+v", hits)
+	}
+}
+
+func TestSearchCollectsMultipleHolders(t *testing.T) {
+	nodes, _ := cluster(t, 4, 4, 1, 0)
+	for i := 1; i < 4; i++ {
+		link(nodes[0], nodes[i])
+		nodes[i].cfg.Store.(MapStore).Add(5)
+	}
+	hits := nodes[0].Search(5, 300*time.Millisecond)
+	if len(hits) != 3 {
+		t.Fatalf("expected 3 holders, got %+v", hits)
+	}
+}
+
+func TestServingNodeDoesNotForward(t *testing.T) {
+	nodes, _ := cluster(t, 3, 4, 3, 0)
+	link(nodes[0], nodes[1])
+	link(nodes[1], nodes[2])
+	nodes[1].cfg.Store.(MapStore).Add(5)
+	nodes[2].cfg.Store.(MapStore).Add(5)
+	hits := nodes[0].Search(5, 300*time.Millisecond)
+	if len(hits) != 1 || hits[0].Holder != 1 {
+		t.Fatalf("propagation past a serving node: %+v", hits)
+	}
+}
+
+func TestStatisticsAccumulate(t *testing.T) {
+	nodes, _ := cluster(t, 2, 4, 1, 0)
+	link(nodes[0], nodes[1])
+	nodes[1].cfg.Store.(MapStore).Add(5)
+	nodes[0].Search(5, 200*time.Millisecond)
+	var benefit float64
+	nodes[0].do(func(st *state) {
+		if r := st.ledger.Get(1); r != nil {
+			benefit = r.Benefit
+		}
+	})
+	// One result, R=1, cable weight 2 => benefit 2.
+	if benefit != 2 {
+		t.Fatalf("benefit = %v, want 2", benefit)
+	}
+}
+
+func TestReconfigureInvitesBestPeer(t *testing.T) {
+	// Capacity 2 so the relay node 1 can hold both edges of the chain
+	// 0-1-2; node 2 holds the content two hops away.
+	nodes, _ := cluster(t, 4, 2, 2, 0)
+	link(nodes[0], nodes[1])
+	link(nodes[1], nodes[2])
+	nodes[2].cfg.Store.(MapStore).Add(9)
+	hits := nodes[0].Search(9, 300*time.Millisecond)
+	if len(hits) != 1 || hits[0].Holder != 2 {
+		t.Fatalf("setup search failed: %+v", hits)
+	}
+	nodes[0].Reconfigure()
+	deadline := time.After(2 * time.Second)
+	for {
+		if hasNeighbor(nodes[0], 2) {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("node 0 never adopted the discovered holder: %v", nodes[0].Neighbors())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	// The invited node must now list 0 as a neighbor too.
+	deadline = time.After(2 * time.Second)
+	for {
+		if hasNeighbor(nodes[2], 0) {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("invited node did not add the inviter: %v", nodes[2].Neighbors())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// hasNeighbor reports whether node n currently lists id.
+func hasNeighbor(n *Node, id topology.NodeID) bool {
+	for _, v := range n.Neighbors() {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+func TestEvictionResetsStatistics(t *testing.T) {
+	nodes, _ := cluster(t, 2, 4, 2, 0)
+	link(nodes[0], nodes[1])
+	nodes[1].cfg.Store.(MapStore).Add(5)
+	nodes[0].Search(5, 200*time.Millisecond)
+	// Node 0 evicts node 1 by hand.
+	nodes[0].do(func(st *state) {
+		removeNeighbor(st, 1)
+	})
+	nodes[1].Deliver(Envelope{Type: MsgEvict, From: 0})
+	time.Sleep(50 * time.Millisecond)
+	var hasStats bool
+	nodes[1].do(func(st *state) { hasStats = st.ledger.Get(0) != nil })
+	if hasStats {
+		t.Fatal("evicted node kept statistics about evictor")
+	}
+	for _, v := range nodes[1].Neighbors() {
+		if v == 0 {
+			t.Fatal("evicted edge still present")
+		}
+	}
+}
+
+func TestAutomaticReconfigurationAfterThreshold(t *testing.T) {
+	nodes, _ := cluster(t, 3, 2, 2, 2) // θ=2, capacity 2
+	link(nodes[0], nodes[1])
+	link(nodes[1], nodes[2])
+	nodes[2].cfg.Store.(MapStore).Add(9)
+	nodes[0].Search(9, 200*time.Millisecond)
+	nodes[0].Search(9, 200*time.Millisecond) // second search crosses θ
+	deadline := time.After(2 * time.Second)
+	for {
+		if hasNeighbor(nodes[0], 2) {
+			return
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("automatic reconfiguration never happened: %v", nodes[0].Neighbors())
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+func TestDuplicateSuppression(t *testing.T) {
+	// Diamond 0-{1,2}-3: node 3 must answer exactly once.
+	nodes, _ := cluster(t, 4, 4, 2, 0)
+	link(nodes[0], nodes[1])
+	link(nodes[0], nodes[2])
+	link(nodes[1], nodes[3])
+	link(nodes[2], nodes[3])
+	nodes[3].cfg.Store.(MapStore).Add(5)
+	hits := nodes[0].Search(5, 300*time.Millisecond)
+	if len(hits) != 1 {
+		t.Fatalf("duplicate replies: %+v", hits)
+	}
+}
+
+func TestNodePanicsOnBadConfig(t *testing.T) {
+	for name, cfg := range map[string]Config{
+		"nil transport": {Store: MapStore{}, Neighbors: 1, TTL: 1},
+		"nil store":     {Transport: NewChanTransport(), Neighbors: 1, TTL: 1},
+		"zero cap":      {Transport: NewChanTransport(), Store: MapStore{}, TTL: 1},
+		"zero ttl":      {Transport: NewChanTransport(), Store: MapStore{}, Neighbors: 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			NewNode(cfg)
+		}()
+	}
+}
+
+func TestChanTransportUnknownNode(t *testing.T) {
+	tr := NewChanTransport()
+	if err := tr.Send(99, Envelope{}); err == nil {
+		t.Fatal("send to unknown node succeeded")
+	}
+}
+
+func TestChanTransportUnregister(t *testing.T) {
+	tr := NewChanTransport()
+	tr.Register(1)
+	tr.Unregister(1)
+	if err := tr.Send(1, Envelope{}); err == nil {
+		t.Fatal("send after unregister succeeded")
+	}
+}
+
+func TestMsgTypeStrings(t *testing.T) {
+	for _, m := range []MsgType{MsgQuery, MsgHit, MsgInvite, MsgInviteReply, MsgEvict} {
+		if m.String() == "" {
+			t.Fatalf("type %d has empty string", m)
+		}
+	}
+}
+
+func TestTCPTransportEndToEnd(t *testing.T) {
+	tr := NewTCPTransport()
+	defer tr.Close()
+
+	a := NewNode(Config{ID: 0, Neighbors: 4, TTL: 2, Transport: tr, Store: MapStore{}, Class: netsim.LAN})
+	b := NewNode(Config{ID: 1, Neighbors: 4, TTL: 2, Transport: tr, Store: MapStore{5: {}}, Class: netsim.LAN})
+	addrA, stopA, err := Listen("127.0.0.1:0", a.Deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopA()
+	addrB, stopB, err := Listen("127.0.0.1:0", b.Deliver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stopB()
+	tr.SetAddr(0, addrA)
+	tr.SetAddr(1, addrB)
+
+	a.Start()
+	b.Start()
+	defer a.Stop()
+	defer b.Stop()
+	a.AddNeighbor(1)
+	b.AddNeighbor(0)
+
+	hits := a.Search(5, 500*time.Millisecond)
+	if len(hits) != 1 || hits[0].Holder != 1 {
+		t.Fatalf("TCP search hits: %+v", hits)
+	}
+}
+
+func TestTCPTransportUnknownAddress(t *testing.T) {
+	tr := NewTCPTransport()
+	if err := tr.Send(42, Envelope{}); err == nil {
+		t.Fatal("send to unknown address succeeded")
+	}
+}

@@ -1,0 +1,55 @@
+package live
+
+import (
+	"sync"
+
+	"repro/internal/topology"
+)
+
+// LossyTransport wraps another Transport and drops a configurable
+// fraction of messages — failure injection for the protocol's loss
+// tolerance. Gnutella-era networks lose queries and replies routinely;
+// the framework's correctness properties (no duplicate processing, no
+// neighbor-list corruption) must survive arbitrary loss, and its
+// liveness degrades gracefully (fewer results, never a wedged node).
+type LossyTransport struct {
+	inner Transport
+	// DropEveryN drops every Nth message (deterministic, so tests are
+	// reproducible without sharing an RNG across goroutines).
+	dropEveryN uint64
+
+	mu      sync.Mutex
+	counter uint64
+	dropped uint64
+}
+
+// NewLossyTransport wraps inner, dropping every nth message (n >= 2;
+// n = 0 disables dropping).
+func NewLossyTransport(inner Transport, n uint64) *LossyTransport {
+	if n == 1 {
+		panic("live: LossyTransport dropping every message")
+	}
+	return &LossyTransport{inner: inner, dropEveryN: n}
+}
+
+// Send implements Transport.
+func (t *LossyTransport) Send(to topology.NodeID, env Envelope) error {
+	t.mu.Lock()
+	t.counter++
+	drop := t.dropEveryN > 0 && t.counter%t.dropEveryN == 0
+	if drop {
+		t.dropped++
+	}
+	t.mu.Unlock()
+	if drop {
+		return nil // silently lost, as on a real lossy link
+	}
+	return t.inner.Send(to, env)
+}
+
+// Dropped returns how many messages were lost so far.
+func (t *LossyTransport) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}

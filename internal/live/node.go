@@ -1,0 +1,375 @@
+package live
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// Store answers local content membership for a live node.
+type Store interface {
+	Has(key core.Key) bool
+}
+
+// MapStore is a Store over an in-memory key set. It is safe for
+// concurrent reads after construction; use Add only before Start.
+type MapStore map[core.Key]struct{}
+
+// Has implements Store.
+func (m MapStore) Has(key core.Key) bool {
+	_, ok := m[key]
+	return ok
+}
+
+// Add inserts a key.
+func (m MapStore) Add(key core.Key) { m[key] = struct{}{} }
+
+// Config parameterizes a live node.
+type Config struct {
+	// ID is the node's network-unique identity.
+	ID topology.NodeID
+	// Neighbors is the symmetric neighbor capacity.
+	Neighbors int
+	// TTL is the default search depth.
+	TTL int
+	// Transport delivers messages. Required.
+	Transport Transport
+	// Store answers local content. Required.
+	Store Store
+	// Class is this node's access-link class, advertised on hits.
+	Class netsim.BandwidthClass
+	// ReconfigThreshold is θ: reconfigure after this many searches
+	// (0 disables automatic reconfiguration).
+	ReconfigThreshold int
+}
+
+// SearchHit is one result of a live search.
+type SearchHit struct {
+	// Holder is the answering node.
+	Holder topology.NodeID
+	// Hops is the forward distance the query traveled.
+	Hops int
+	// Class is the answering link's advertised bandwidth class.
+	Class netsim.BandwidthClass
+}
+
+// Node is one live repository: an actor goroutine owning all mutable
+// state (neighbor set, ledger, duplicate cache, pending searches).
+type Node struct {
+	cfg   Config
+	inbox chan Envelope
+	ctl   chan func(*state)
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	// searches maps pending query IDs to collectors; owned by the actor
+	// loop except for the buffered result channels.
+	nextQID core.QueryID
+}
+
+// state is the actor-owned mutable state.
+type state struct {
+	neighbors []topology.NodeID
+	ledger    *stats.Ledger
+	seen      map[core.QueryID]struct{}
+	seenRing  []core.QueryID
+	pending   map[core.QueryID]chan SearchHit
+	searches  int
+}
+
+// NewNode builds a node; Start launches its actor loop.
+func NewNode(cfg Config) *Node {
+	if cfg.Transport == nil || cfg.Store == nil {
+		panic("live: Config requires Transport and Store")
+	}
+	if cfg.Neighbors <= 0 || cfg.TTL < 1 {
+		panic(fmt.Sprintf("live: bad config %+v", cfg))
+	}
+	return &Node{
+		cfg:   cfg,
+		inbox: make(chan Envelope, 1024),
+		ctl:   make(chan func(*state), 64),
+		done:  make(chan struct{}),
+	}
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() topology.NodeID { return n.cfg.ID }
+
+// Inbox returns the channel a Transport should deliver into. For
+// ChanTransport, register this node and copy envelopes in; for TCP,
+// wire Listen's deliver callback to Deliver.
+func (n *Node) Inbox() chan Envelope { return n.inbox }
+
+// Deliver enqueues an envelope (dropping when the node is saturated).
+func (n *Node) Deliver(env Envelope) {
+	select {
+	case n.inbox <- env:
+	case <-n.done:
+	default:
+	}
+}
+
+// Start launches the actor loop.
+func (n *Node) Start() {
+	n.wg.Add(1)
+	go n.loop()
+}
+
+// Stop terminates the actor loop and waits for it.
+func (n *Node) Stop() {
+	close(n.done)
+	n.wg.Wait()
+}
+
+// loop is the actor: all state mutations happen here.
+func (n *Node) loop() {
+	defer n.wg.Done()
+	st := &state{
+		ledger:  stats.NewLedger(),
+		seen:    make(map[core.QueryID]struct{}),
+		pending: make(map[core.QueryID]chan SearchHit),
+	}
+	for {
+		select {
+		case <-n.done:
+			return
+		case f := <-n.ctl:
+			f(st)
+		case env := <-n.inbox:
+			n.handle(st, env)
+		}
+	}
+}
+
+// do runs f inside the actor loop and waits for it.
+func (n *Node) do(f func(*state)) {
+	doneCh := make(chan struct{})
+	select {
+	case n.ctl <- func(st *state) { f(st); close(doneCh) }:
+	case <-n.done:
+		return
+	}
+	select {
+	case <-doneCh:
+	case <-n.done:
+	}
+}
+
+// Neighbors returns a snapshot of the current neighbor set.
+func (n *Node) Neighbors() []topology.NodeID {
+	var out []topology.NodeID
+	n.do(func(st *state) {
+		out = append(out, st.neighbors...)
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// AddNeighbor links both nodes (used for bootstrap wiring; the remote
+// side learns of the edge by receiving our first query or invite, so
+// for tests and demos call AddNeighbor on both ends).
+func (n *Node) AddNeighbor(id topology.NodeID) {
+	n.do(func(st *state) { addNeighbor(st, n.cfg.Neighbors, id) })
+}
+
+func addNeighbor(st *state, capacity int, id topology.NodeID) bool {
+	for _, v := range st.neighbors {
+		if v == id {
+			return false
+		}
+	}
+	if len(st.neighbors) >= capacity {
+		return false
+	}
+	st.neighbors = append(st.neighbors, id)
+	return true
+}
+
+func removeNeighbor(st *state, id topology.NodeID) bool {
+	for i, v := range st.neighbors {
+		if v == id {
+			st.neighbors = append(st.neighbors[:i], st.neighbors[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Search floods a query and collects hits until timeout. It implements
+// Send_Query of Algo 5: statistics update with benefit B/R over the
+// collected results, then a reconfiguration check.
+func (n *Node) Search(key core.Key, timeout time.Duration) []SearchHit {
+	results := make(chan SearchHit, 256)
+	var qid core.QueryID
+	n.do(func(st *state) {
+		n.nextQID++
+		qid = core.QueryID(uint64(n.cfg.ID)<<32) | n.nextQID
+		st.pending[qid] = results
+		markSeen(st, qid) // our own query must not be re-processed
+		for _, nb := range st.neighbors {
+			n.send(nb, Envelope{
+				Type: MsgQuery, From: n.cfg.ID,
+				QueryID: qid, Key: key, Origin: n.cfg.ID,
+				TTL: n.cfg.TTL, Hops: 1,
+			})
+		}
+	})
+
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	var hits []SearchHit
+collect:
+	for {
+		select {
+		case h := <-results:
+			hits = append(hits, h)
+		case <-deadline.C:
+			break collect
+		case <-n.done:
+			break collect
+		}
+	}
+
+	n.do(func(st *state) {
+		delete(st.pending, qid)
+		r := float64(len(hits))
+		for _, h := range hits {
+			rec := st.ledger.Touch(h.Holder)
+			rec.Hits++
+			rec.Results++
+			rec.Replies++
+			rec.Benefit += h.Class.Weight() / r
+		}
+		st.searches++
+		if n.cfg.ReconfigThreshold > 0 && st.searches >= n.cfg.ReconfigThreshold {
+			st.searches = 0
+			n.reconfigureLocked(st)
+		}
+	})
+	return hits
+}
+
+// Reconfigure forces one Algo 5 reconfiguration immediately.
+func (n *Node) Reconfigure() {
+	n.do(n.reconfigureLocked)
+}
+
+// reconfigureLocked runs inside the actor loop: invite the single most
+// beneficial known non-neighbor, evicting the worst neighbor when full
+// (MaxSwaps = 1, as in the paper's case study).
+func (n *Node) reconfigureLocked(st *state) {
+	ranked := st.ledger.Rank(stats.Cumulative{}, func(p topology.NodeID) bool {
+		return p == n.cfg.ID
+	})
+	for _, cand := range ranked {
+		isNeighbor := false
+		for _, v := range st.neighbors {
+			if v == cand.Peer {
+				isNeighbor = true
+				break
+			}
+		}
+		if isNeighbor {
+			continue
+		}
+		if len(st.neighbors) >= n.cfg.Neighbors {
+			worst := st.ledger.Least(stats.Cumulative{}, st.neighbors)
+			worstScore := 0.0
+			if r := st.ledger.Get(worst); r != nil {
+				worstScore = stats.Cumulative{}.Score(r)
+			}
+			if cand.Score <= worstScore {
+				return // nothing better than the current set
+			}
+			removeNeighbor(st, worst)
+			n.send(worst, Envelope{Type: MsgEvict, From: n.cfg.ID})
+		}
+		addNeighbor(st, n.cfg.Neighbors, cand.Peer)
+		n.send(cand.Peer, Envelope{Type: MsgInvite, From: n.cfg.ID})
+		return
+	}
+}
+
+// handle processes one incoming envelope inside the actor loop.
+func (n *Node) handle(st *state, env Envelope) {
+	switch env.Type {
+	case MsgQuery:
+		if _, dup := st.seen[env.QueryID]; dup {
+			return
+		}
+		markSeen(st, env.QueryID)
+		if n.cfg.Store.Has(env.Key) {
+			n.send(env.Origin, Envelope{
+				Type: MsgHit, From: n.cfg.ID,
+				QueryID: env.QueryID, Key: env.Key,
+				Hops: env.Hops, Class: n.cfg.Class,
+			})
+			return // the case study does not forward past a serving node
+		}
+		if env.Hops >= env.TTL {
+			return
+		}
+		for _, nb := range st.neighbors {
+			if nb == env.From || nb == env.Origin {
+				continue
+			}
+			fwd := env
+			fwd.From = n.cfg.ID
+			fwd.Hops++
+			n.send(nb, fwd)
+		}
+	case MsgHit:
+		if ch, ok := st.pending[env.QueryID]; ok {
+			select {
+			case ch <- SearchHit{Holder: env.From, Hops: env.Hops, Class: env.Class}:
+			default:
+			}
+		}
+	case MsgInvite:
+		// Always accept (Algo 5), evicting the least beneficial
+		// neighbor when full.
+		if len(st.neighbors) >= n.cfg.Neighbors {
+			worst := st.ledger.Least(stats.Cumulative{}, st.neighbors)
+			removeNeighbor(st, worst)
+			n.send(worst, Envelope{Type: MsgEvict, From: n.cfg.ID})
+		}
+		addNeighbor(st, n.cfg.Neighbors, env.From)
+		n.send(env.From, Envelope{Type: MsgInviteReply, From: n.cfg.ID, Accept: true})
+		st.searches = 0 // reset the reconfiguration counter
+	case MsgInviteReply:
+		if env.Accept {
+			addNeighbor(st, n.cfg.Neighbors, env.From)
+		}
+	case MsgEvict:
+		removeNeighbor(st, env.From)
+		// Process_Eviction: reset statistics about the evictor so we do
+		// not immediately re-invite it.
+		st.ledger.Reset(env.From)
+	}
+}
+
+// markSeen inserts a query ID into the bounded duplicate cache ("each
+// node keeps a list of recent messages").
+func markSeen(st *state, qid core.QueryID) {
+	const seenCap = 4096
+	st.seen[qid] = struct{}{}
+	st.seenRing = append(st.seenRing, qid)
+	if len(st.seenRing) > seenCap {
+		old := st.seenRing[0]
+		st.seenRing = st.seenRing[1:]
+		delete(st.seen, old)
+	}
+}
+
+// send delivers without blocking the actor; transport errors are
+// ignored (lossy network semantics).
+func (n *Node) send(to topology.NodeID, env Envelope) {
+	_ = n.cfg.Transport.Send(to, env)
+}

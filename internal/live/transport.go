@@ -1,0 +1,279 @@
+// Package live runs the framework on real concurrent nodes instead of
+// the discrete-event simulator: every node is a goroutine-driven actor
+// with an inbox, and messages travel over a pluggable Transport — an
+// in-process channel fabric for tests and single-binary demos, or
+// TCP with gob encoding for multi-process deployments (cmd/dsearch).
+//
+// The protocol is the paper's Algo 5 adapted to a real network: queries
+// flood with a TTL and duplicate suppression, hits reply directly to
+// the origin (carrying the answering link's bandwidth class, as the
+// Gnutella Ping-Pong protocol does), and neighbor updates use
+// invitation/eviction messages with the always-accept policy.
+package live
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+// MsgType discriminates protocol messages.
+type MsgType uint8
+
+// Protocol message types.
+const (
+	MsgQuery MsgType = iota
+	MsgHit
+	MsgInvite
+	MsgInviteReply
+	MsgEvict
+)
+
+// String implements fmt.Stringer.
+func (t MsgType) String() string {
+	switch t {
+	case MsgQuery:
+		return "query"
+	case MsgHit:
+		return "hit"
+	case MsgInvite:
+		return "invite"
+	case MsgInviteReply:
+		return "invite-reply"
+	case MsgEvict:
+		return "evict"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// Envelope is the wire message. All fields are exported and
+// gob-encodable; unused fields stay zero.
+type Envelope struct {
+	Type MsgType
+	From topology.NodeID
+
+	// Query / Hit fields.
+	QueryID core.QueryID
+	Key     core.Key
+	Origin  topology.NodeID
+	TTL     int
+	Hops    int
+	// Class is the answering node's bandwidth class on hits.
+	Class netsim.BandwidthClass
+
+	// InviteReply field.
+	Accept bool
+}
+
+// Transport delivers envelopes between nodes. Implementations must be
+// safe for concurrent use.
+type Transport interface {
+	// Send delivers env to node to. Delivery is asynchronous;
+	// implementations may drop messages to unknown or stopped nodes
+	// and report the failure.
+	Send(to topology.NodeID, env Envelope) error
+}
+
+// ChanTransport is an in-process fabric: one buffered channel per node.
+type ChanTransport struct {
+	mu    sync.RWMutex
+	boxes map[topology.NodeID]chan Envelope
+}
+
+// NewChanTransport returns an empty fabric.
+func NewChanTransport() *ChanTransport {
+	return &ChanTransport{boxes: make(map[topology.NodeID]chan Envelope)}
+}
+
+// Register creates (or returns) the inbox for node id.
+func (t *ChanTransport) Register(id topology.NodeID) chan Envelope {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if box, ok := t.boxes[id]; ok {
+		return box
+	}
+	box := make(chan Envelope, 1024)
+	t.boxes[id] = box
+	return box
+}
+
+// Attach wires a node's inbox into the fabric, replacing any channel
+// previously registered for its ID.
+func (t *ChanTransport) Attach(n *Node) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.boxes[n.ID()] = n.Inbox()
+}
+
+// Unregister removes a node's inbox; pending messages are dropped.
+func (t *ChanTransport) Unregister(id topology.NodeID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	delete(t.boxes, id)
+}
+
+// Send implements Transport. A full inbox drops the message (backpressure
+// by loss, as UDP-era Gnutella did) rather than blocking the sender.
+func (t *ChanTransport) Send(to topology.NodeID, env Envelope) error {
+	t.mu.RLock()
+	box, ok := t.boxes[to]
+	t.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("live: no inbox for node %d", to)
+	}
+	select {
+	case box <- env:
+		return nil
+	default:
+		return fmt.Errorf("live: inbox of node %d is full", to)
+	}
+}
+
+// TCPTransport sends envelopes over TCP connections with gob encoding.
+// Every process registers its peers' listen addresses; connections are
+// pooled per destination.
+type TCPTransport struct {
+	mu    sync.Mutex
+	addrs map[topology.NodeID]string
+	conns map[topology.NodeID]*tcpConn
+}
+
+type tcpConn struct {
+	c   net.Conn
+	enc *gob.Encoder
+}
+
+// NewTCPTransport returns a transport with no known peers.
+func NewTCPTransport() *TCPTransport {
+	return &TCPTransport{
+		addrs: make(map[topology.NodeID]string),
+		conns: make(map[topology.NodeID]*tcpConn),
+	}
+}
+
+// SetAddr registers the listen address of a peer.
+func (t *TCPTransport) SetAddr(id topology.NodeID, addr string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.addrs[id] = addr
+	if c, ok := t.conns[id]; ok {
+		c.c.Close()
+		delete(t.conns, id)
+	}
+}
+
+// Send implements Transport.
+func (t *TCPTransport) Send(to topology.NodeID, env Envelope) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	conn, ok := t.conns[to]
+	if !ok {
+		addr, known := t.addrs[to]
+		if !known {
+			return fmt.Errorf("live: no address for node %d", to)
+		}
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			return fmt.Errorf("live: dial node %d: %w", to, err)
+		}
+		conn = &tcpConn{c: c, enc: gob.NewEncoder(c)}
+		t.conns[to] = conn
+	}
+	if err := conn.enc.Encode(env); err != nil {
+		conn.c.Close()
+		delete(t.conns, to)
+		return fmt.Errorf("live: send to node %d: %w", to, err)
+	}
+	return nil
+}
+
+// Close shuts all pooled connections.
+func (t *TCPTransport) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for id, c := range t.conns {
+		c.c.Close()
+		delete(t.conns, id)
+	}
+}
+
+// Listen starts a TCP listener that decodes envelopes into deliver.
+// It returns the bound address and a stop function.
+func Listen(addr string, deliver func(Envelope)) (string, func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		conns = map[net.Conn]struct{}{}
+		done  = make(chan struct{})
+	)
+	track := func(c net.Conn) bool {
+		mu.Lock()
+		defer mu.Unlock()
+		select {
+		case <-done:
+			return false
+		default:
+		}
+		conns[c] = struct{}{}
+		return true
+	}
+	untrack := func(c net.Conn) {
+		mu.Lock()
+		delete(conns, c)
+		mu.Unlock()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				select {
+				case <-done:
+					return
+				default:
+					continue
+				}
+			}
+			if !track(conn) {
+				conn.Close()
+				return
+			}
+			wg.Add(1)
+			go func(c net.Conn) {
+				defer wg.Done()
+				defer untrack(c)
+				defer c.Close()
+				dec := gob.NewDecoder(c)
+				for {
+					var env Envelope
+					if err := dec.Decode(&env); err != nil {
+						return
+					}
+					deliver(env)
+				}
+			}(conn)
+		}
+	}()
+	stop := func() {
+		mu.Lock()
+		close(done)
+		for c := range conns {
+			c.Close()
+		}
+		mu.Unlock()
+		ln.Close()
+		wg.Wait()
+	}
+	return ln.Addr().String(), stop, nil
+}

@@ -1,0 +1,179 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestZipfRankRange(t *testing.T) {
+	z := NewZipf(50, 0.9)
+	s := New(1)
+	for i := 0; i < 100000; i++ {
+		r := z.Rank(s)
+		if r < 1 || r > 50 {
+			t.Fatalf("rank %d out of [1,50]", r)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// With θ = 0.9 over 50 ranks, rank 1 must be sampled far more often
+	// than rank 50 (p1/p50 = 50^0.9 ≈ 33.8).
+	z := NewZipf(50, 0.9)
+	s := New(2)
+	counts := make([]int, 51)
+	const n = 500000
+	for i := 0; i < n; i++ {
+		counts[z.Rank(s)]++
+	}
+	ratio := float64(counts[1]) / float64(counts[50])
+	want := math.Pow(50, 0.9)
+	if ratio < want*0.7 || ratio > want*1.3 {
+		t.Fatalf("p1/p50 ratio = %v, want ~%v", ratio, want)
+	}
+}
+
+func TestZipfEmpiricalMatchesP(t *testing.T) {
+	z := NewZipf(10, 0.9)
+	s := New(3)
+	counts := make([]int, 11)
+	const n = 400000
+	for i := 0; i < n; i++ {
+		counts[z.Rank(s)]++
+	}
+	for r := 1; r <= 10; r++ {
+		got := float64(counts[r]) / n
+		want := z.P(r)
+		if math.Abs(got-want) > 4*math.Sqrt(want/n)+0.001 {
+			t.Fatalf("rank %d empirical p=%v, analytic p=%v", r, got, want)
+		}
+	}
+}
+
+func TestZipfUniformWhenThetaZero(t *testing.T) {
+	z := NewZipf(4, 0)
+	for r := 1; r <= 4; r++ {
+		if math.Abs(z.P(r)-0.25) > 1e-12 {
+			t.Fatalf("θ=0 rank %d has p=%v, want 0.25", r, z.P(r))
+		}
+	}
+}
+
+func TestZipfPMassSumsToOne(t *testing.T) {
+	z := NewZipf(200, 0.9)
+	sum := 0.0
+	for r := 1; r <= 200; r++ {
+		sum += z.P(r)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probability mass sums to %v", sum)
+	}
+}
+
+func TestZipfCDFMonotone(t *testing.T) {
+	z := NewZipf(1000, 0.9)
+	prev := 0.0
+	for r := 1; r <= 1000; r++ {
+		c := z.CDF(r)
+		if c < prev {
+			t.Fatalf("CDF decreased at rank %d: %v < %v", r, c, prev)
+		}
+		prev = c
+	}
+	if z.CDF(1000) != 1 {
+		t.Fatalf("CDF(N) = %v, want 1", z.CDF(1000))
+	}
+}
+
+func TestZipfCDFBoundaries(t *testing.T) {
+	z := NewZipf(5, 0.9)
+	if z.CDF(0) != 0 {
+		t.Fatalf("CDF(0) = %v", z.CDF(0))
+	}
+	if z.CDF(6) != 1 {
+		t.Fatalf("CDF(N+1) = %v", z.CDF(6))
+	}
+	if z.P(0) != 0 || z.P(6) != 0 {
+		t.Fatal("P outside support must be 0")
+	}
+}
+
+func TestZipfSingleRank(t *testing.T) {
+	z := NewZipf(1, 0.9)
+	s := New(4)
+	for i := 0; i < 100; i++ {
+		if z.Rank(s) != 1 {
+			t.Fatal("N=1 Zipf must always return rank 1")
+		}
+	}
+}
+
+func TestZipfPanicsOnBadArgs(t *testing.T) {
+	for _, tc := range []struct {
+		n     int
+		theta float64
+	}{{0, 0.9}, {-1, 0.9}, {10, -0.1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewZipf(%d, %v) did not panic", tc.n, tc.theta)
+				}
+			}()
+			NewZipf(tc.n, tc.theta)
+		}()
+	}
+}
+
+func TestZipfIndexIsRankMinusOne(t *testing.T) {
+	z := NewZipf(100, 0.9)
+	a, b := New(5), New(5)
+	for i := 0; i < 1000; i++ {
+		if z.Index(a) != z.Rank(b)-1 {
+			t.Fatal("Index and Rank disagree")
+		}
+	}
+}
+
+func TestQuickZipfRankInSupport(t *testing.T) {
+	f := func(seed uint64, n uint8, theta10 uint8) bool {
+		size := int(n)%100 + 1
+		theta := float64(theta10%30) / 10
+		z := NewZipf(size, theta)
+		s := New(seed)
+		r := z.Rank(s)
+		return r >= 1 && r <= size
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickZipfCDFMonotone(t *testing.T) {
+	f := func(n uint8, theta10 uint8) bool {
+		size := int(n)%200 + 2
+		theta := float64(theta10%25) / 10
+		z := NewZipf(size, theta)
+		prev := 0.0
+		for r := 1; r <= size; r++ {
+			c := z.CDF(r)
+			if c < prev {
+				return false
+			}
+			prev = c
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkZipfRank(b *testing.B) {
+	z := NewZipf(4000, 0.9)
+	s := New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Rank(s)
+	}
+}
