@@ -9,11 +9,19 @@ package repro
 //
 // regenerates the entire evaluation. The full-scale (paper-sized)
 // series are produced by `go run ./cmd/repro -exp all -scale full`.
+//
+// Every experiment decomposes into independent cells executed by
+// internal/runner's worker pool (the Fig*/ablation entry points below
+// route through it); BenchmarkRunnerWorkers measures how one figure's
+// cell set scales with the pool size.
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 )
 
 // BenchmarkFig1 regenerates Figure 1 (hops = 2): queries satisfied per
@@ -138,6 +146,26 @@ func BenchmarkDrift(b *testing.B) {
 		b.ReportMetric(staticEnd, "static-tail-hits")
 		b.ReportMetric(dynEnd, "dynamic-tail-hits")
 		b.ReportMetric(decayEnd, "decay-tail-hits")
+	}
+}
+
+// BenchmarkRunnerWorkers shards the Figure 3(a) cell set (eight
+// independent simulations) across worker pools of increasing size —
+// the scaling curve of the experiment-orchestration layer itself.
+func BenchmarkRunnerWorkers(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cells := experiments.Fig3aCells("fig3a", experiments.CI, uint64(i+1))
+				results, err := runner.Run(context.Background(), cells, runner.Options{Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := runner.FirstError(results); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -4,13 +4,20 @@
 // figures with fixed parameter sets, gnusim exposes every knob for
 // exploratory runs.
 //
+// With -reps N the same configuration is replicated N times under
+// seeds derived per replicate (internal/runner.DeriveSeed) and executed
+// on the runner's worker pool; the summary then reports mean ± std over
+// the replicates instead of a single run.
+//
 // Examples:
 //
 //	gnusim -mode dynamic -ttl 3 -theta 4 -hours 48
 //	gnusim -mode dynamic -forward directed2 -localindex -csv > run.csv
+//	gnusim -mode dynamic -reps 8 -workers 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +26,7 @@ import (
 	"repro/internal/gnutella"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/runner"
 	"repro/internal/trace"
 )
 
@@ -40,6 +48,8 @@ func main() {
 		trial     = flag.Float64("trial", 0, "invitation trial period in hours (0 = permanent accepts)")
 		rate      = flag.Float64("rate", 12, "queries per on-line user per hour")
 		seed      = flag.Uint64("seed", 1, "experiment seed")
+		reps      = flag.Int("reps", 1, "replicate the run under derived seeds, report mean ± std")
+		workers   = flag.Int("workers", 0, "worker pool size for -reps (0 = GOMAXPROCS)")
 		csv       = flag.Bool("csv", false, "emit the hourly series as CSV")
 		traceFile = flag.String("trace", "", "write a JSONL protocol event trace to this file")
 	)
@@ -52,6 +62,13 @@ func main() {
 		os.Exit(2)
 	}
 	cfg.Variant.TrialPeriodHours = *trial
+	if *reps > 1 {
+		if *traceFile != "" || *csv {
+			fmt.Fprintln(os.Stderr, "gnusim: -trace and -csv apply to single runs, not -reps sweeps")
+			os.Exit(2)
+		}
+		os.Exit(runReplicates(cfg, *seed, *reps, *workers))
+	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
@@ -94,6 +111,74 @@ func main() {
 		m.Reconfigurations, m.Meter.Total(netsim.MsgInvite), m.Meter.Total(netsim.MsgEvict), m.LoginCount)
 	fmt.Fprintf(os.Stderr, "network consistent: %v; wall time %.1fs\n",
 		s.Network().Consistent(), elapsed.Seconds())
+}
+
+// repSummary is the per-replicate output of a -reps sweep.
+type repSummary struct {
+	Hits          float64 `json:"hits"`
+	Queries       float64 `json:"queries"`
+	Messages      uint64  `json:"messages"`
+	FirstResultMs float64 `json:"first_result_ms"`
+	Reconfigs     uint64  `json:"reconfigurations"`
+}
+
+// runReplicates executes reps copies of cfg under derived seeds on the
+// runner pool and prints per-replicate lines plus mean ± std
+// aggregates. It returns the process exit code.
+func runReplicates(cfg gnutella.Config, baseSeed uint64, reps, workers int) int {
+	cells := make([]runner.Cell, reps)
+	for i := 0; i < reps; i++ {
+		name := fmt.Sprintf("rep%02d", i)
+		cells[i] = runner.Cell{
+			Experiment: "gnusim",
+			Name:       name,
+			Seed:       runner.DeriveSeed(baseSeed, "gnusim", name),
+			Run: func(_ context.Context, seed uint64) (any, error) {
+				c := cfg
+				c.Seed = seed
+				m := gnutella.New(c).Run()
+				return &repSummary{
+					Hits:          m.Hits.Total(),
+					Queries:       m.Queries.Total(),
+					Messages:      m.Meter.Total(netsim.MsgQuery),
+					FirstResultMs: m.FirstResultDelay.Mean() * 1000,
+					Reconfigs:     m.Reconfigurations,
+				}, nil
+			},
+		}
+	}
+
+	start := time.Now()
+	results, err := runner.Run(context.Background(), cells, runner.Options{Workers: workers, Retries: 1})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gnusim:", err)
+		return 1
+	}
+
+	var hits, msgs, first metrics.Welford
+	code := 0
+	for _, r := range results {
+		if r.Err != "" {
+			fmt.Fprintf(os.Stderr, "%s (seed %d): FAILED: %s\n", r.Cell, r.Seed, r.Err)
+			code = 1
+			continue
+		}
+		s := r.Value.(*repSummary)
+		hits.Observe(s.Hits)
+		msgs.Observe(float64(s.Messages))
+		first.Observe(s.FirstResultMs)
+		fmt.Fprintf(os.Stderr, "%s (seed %d): %v hits (%.1f%%), %d query messages, first result %.0f ms, %d reconfigs\n",
+			r.Cell, r.Seed, s.Hits, 100*s.Hits/s.Queries, s.Messages, s.FirstResultMs, s.Reconfigs)
+	}
+	if hits.N() > 0 {
+		fmt.Fprintf(os.Stderr, "%s over %d/%d replicates: hits %.1f ± %.1f [%v, %v]; messages %.0f ± %.0f; first result %.0f ± %.0f ms; wall %.1fs\n",
+			cfg.Mode, hits.N(), reps,
+			hits.Mean(), hits.Std(), hits.Min(), hits.Max(),
+			msgs.Mean(), msgs.Std(),
+			first.Mean(), first.Std(),
+			time.Since(start).Seconds())
+	}
+	return code
 }
 
 // buildConfig assembles and validates the gnutella configuration.

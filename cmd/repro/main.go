@@ -2,28 +2,46 @@
 //
 // Usage:
 //
-//	repro -exp fig1a [-scale full|ci] [-seed N] [-csv]
+//	repro -exp fig1a [-scale full|ci] [-seed N] [-workers N] [-csv]
+//	repro -only fig1,fig3b -json [-out runs]
 //
-// Experiments: fig1a fig1b fig2a fig2b fig3a fig3b all
-// plus the ablations: directed iterdeep asym benefit webcache peerolap.
+// Experiments: fig1 fig2 fig3a fig3b all (plus the single-table
+// aliases fig1a fig1b fig2a fig2b) and the ablations: directed
+// iterdeep localindex asym benefit drift webcache peerolap.
+//
+// All selected experiments decompose into independent simulation cells
+// that shard across one bounded worker pool (internal/runner). Results
+// are bit-for-bit identical at any -workers value. With -json, the
+// per-cell outputs land in <out>/<name>/cells.json (deterministic —
+// diff it across commits) and <out>/<name>/summary.json (timing and
+// failure metadata).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"strings"
 	"time"
 
 	"repro/internal/experiments"
-	"repro/internal/metrics"
+	"repro/internal/runner"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: fig1a fig1b fig2a fig2b fig3a fig3b all directed iterdeep localindex asym benefit drift webcache peerolap")
-		scale = flag.String("scale", "ci", "scale: full (paper, minutes) or ci (reduced, seconds)")
-		seed  = flag.Uint64("seed", 1, "experiment seed")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		exp      = flag.String("exp", "all", "experiment: fig1a fig1b fig2a fig2b fig3a fig3b all directed iterdeep localindex asym benefit drift webcache peerolap")
+		only     = flag.String("only", "", "comma-separated experiment subset (overrides -exp)")
+		scale    = flag.String("scale", "ci", "scale: full (paper, minutes) or ci (reduced, seconds)")
+		seed     = flag.Uint64("seed", 1, "experiment seed")
+		workers  = flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		jsonOut  = flag.Bool("json", false, "write runs/<name>/{cells,summary}.json artifacts")
+		outRoot  = flag.String("out", "runs", "artifact root directory (with -json)")
+		runName  = flag.String("name", "", "artifact run name (default <exp>-<scale>-s<seed>)")
+		progress = flag.Bool("progress", false, "report per-cell progress and ETA on stderr")
 	)
 	flag.Parse()
 
@@ -33,86 +51,122 @@ func main() {
 		os.Exit(2)
 	}
 
-	start := time.Now()
-	tables, err := run(*exp, sc, *seed)
+	defs, label, err := selectDefs(*exp, *only, sc, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	for _, t := range tables {
-		if *csv {
-			fmt.Print(t.CSV())
-		} else {
-			fmt.Println(t.String())
+
+	// Aliases of one canonical experiment (fig1a and fig1b both resolve
+	// to fig1's cells) must share one cell slice: dedupe by the cells'
+	// experiment tag so nothing simulates twice and cells.json carries
+	// no duplicate entries.
+	type job struct {
+		def      experiments.Definition
+		off, len int
+	}
+	var (
+		cells   []runner.Cell
+		jobs    []job
+		offsets = map[string]int{}
+	)
+	for _, d := range defs {
+		canonical := d.Cells[0].Experiment
+		off, seen := offsets[canonical]
+		if !seen {
+			off = len(cells)
+			offsets[canonical] = off
+			cells = append(cells, d.Cells...)
+		}
+		jobs = append(jobs, job{def: d, off: off, len: len(d.Cells)})
+	}
+
+	opts := runner.Options{Workers: *workers, Retries: 1}
+	if *progress {
+		opts.OnProgress = func(p runner.Progress) {
+			fmt.Fprintf(os.Stderr, "repro: %d/%d cells (%s/%s done), elapsed %.1fs, eta %.1fs\n",
+				p.Done, p.Total, p.Experiment, p.Cell, p.Elapsed.Seconds(), p.ETA.Seconds())
 		}
 	}
-	fmt.Fprintf(os.Stderr, "[%s scale, seed %d, %.1fs]\n", sc, *seed, time.Since(start).Seconds())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	start := time.Now()
+	results, runErr := runner.Run(ctx, cells, opts)
+	elapsed := time.Since(start)
+
+	if *jsonOut {
+		name := *runName
+		if name == "" {
+			name = fmt.Sprintf("%s-%s-s%d", label, sc, *seed)
+		}
+		dir, err := runner.WriteArtifacts(*outRoot, runner.RunInfo{
+			Name:        name,
+			Labels:      map[string]string{"scale": sc.String(), "experiments": label},
+			BaseSeed:    *seed,
+			Workers:     *workers,
+			WallSeconds: elapsed.Seconds(),
+		}, results)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "artifacts: %s\n", dir)
+	}
+
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "repro: run interrupted:", runErr)
+		os.Exit(1)
+	}
+
+	exitCode := 0
+	for _, j := range jobs {
+		tables, err := j.def.Tables(results[j.off : j.off+j.len])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "repro: %s: %v\n", j.def.Name, err)
+			exitCode = 1
+			continue
+		}
+		for _, t := range tables {
+			if *csv {
+				fmt.Print(t.CSV())
+			} else {
+				fmt.Println(t.String())
+			}
+		}
+	}
+	fmt.Fprintf(os.Stderr, "[%s scale, seed %d, %d cells, %.1fs]\n",
+		sc, *seed, len(cells), elapsed.Seconds())
+	os.Exit(exitCode)
 }
 
-// run dispatches one experiment name to its harness.
-func run(exp string, sc experiments.Scale, seed uint64) ([]*metrics.Table, error) {
-	switch exp {
-	case "fig1a":
-		return []*metrics.Table{experiments.Fig1(sc, seed).HitsTable("Figure 1(a): queries satisfied per hour (hops=2)")}, nil
-	case "fig1b":
-		return []*metrics.Table{experiments.Fig1(sc, seed).MsgsTable("Figure 1(b): query overhead per hour (hops=2)")}, nil
-	case "fig1":
-		f := experiments.Fig1(sc, seed)
-		return []*metrics.Table{
-			f.HitsTable("Figure 1(a): queries satisfied per hour (hops=2)"),
-			f.MsgsTable("Figure 1(b): query overhead per hour (hops=2)"),
-		}, nil
-	case "fig2a":
-		return []*metrics.Table{experiments.Fig2(sc, seed).HitsTable("Figure 2(a): queries satisfied per hour (hops=4)")}, nil
-	case "fig2b":
-		return []*metrics.Table{experiments.Fig2(sc, seed).MsgsTable("Figure 2(b): query overhead per hour (hops=4)")}, nil
-	case "fig2":
-		f := experiments.Fig2(sc, seed)
-		return []*metrics.Table{
-			f.HitsTable("Figure 2(a): queries satisfied per hour (hops=4)"),
-			f.MsgsTable("Figure 2(b): query overhead per hour (hops=4)"),
-		}, nil
-	case "fig3a":
-		return []*metrics.Table{experiments.Fig3aTable(experiments.Fig3a(sc, seed))}, nil
-	case "fig3b":
-		return []*metrics.Table{experiments.Fig3bTable(experiments.Fig3b(sc, seed))}, nil
-	case "directed":
-		return []*metrics.Table{experiments.VariantTable(
-			"Ablation: Directed BFT vs flooding (dynamic, hops=3)",
-			experiments.DirectedBFT(sc, seed))}, nil
-	case "iterdeep":
-		return []*metrics.Table{experiments.VariantTable(
-			"Ablation: iterative deepening (dynamic, max depth 3)",
-			experiments.IterDeepening(sc, seed))}, nil
-	case "localindex":
-		return []*metrics.Table{experiments.VariantTable(
-			"Ablation: local indices r=1 (technique iii of [10], hops=2)",
-			experiments.LocalIndices(sc, seed))}, nil
-	case "asym":
-		return []*metrics.Table{experiments.VariantTable(
-			"Ablation: symmetric (Algo 4) vs asymmetric (Algo 3) updates (hops=2)",
-			experiments.AsymmetricUpdate(sc, seed))}, nil
-	case "benefit":
-		return []*metrics.Table{experiments.VariantTable(
-			"Ablation: benefit-function sensitivity (dynamic, hops=2)",
-			experiments.BenefitFunctions(sc, seed))}, nil
-	case "drift":
-		return []*metrics.Table{experiments.DriftTable(experiments.Drift(sc, seed))}, nil
-	case "webcache":
-		return []*metrics.Table{experiments.WebCacheTable(experiments.WebCache(sc, seed))}, nil
-	case "peerolap":
-		return []*metrics.Table{experiments.PeerOlapTable(experiments.PeerOlap(sc, seed))}, nil
-	case "all":
-		var out []*metrics.Table
-		for _, name := range []string{"fig1", "fig2", "fig3a", "fig3b", "directed", "iterdeep", "localindex", "asym", "benefit", "drift", "webcache", "peerolap"} {
-			ts, err := run(name, sc, seed)
-			if err != nil {
-				return nil, err
+// selectDefs resolves the -exp/-only flags to experiment definitions
+// plus a short label for the artifact name.
+func selectDefs(exp, only string, sc experiments.Scale, seed uint64) ([]experiments.Definition, string, error) {
+	names := []string{}
+	switch {
+	case only != "":
+		for _, n := range strings.Split(only, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
 			}
-			out = append(out, ts...)
 		}
-		return out, nil
+		if len(names) == 0 {
+			return nil, "", fmt.Errorf("repro: -only selected nothing")
+		}
+	case exp == "all":
+		return experiments.Registry(sc, seed), "all", nil
 	default:
-		return nil, fmt.Errorf("repro: unknown experiment %q", exp)
+		names = []string{exp}
 	}
+	var defs []experiments.Definition
+	for _, n := range names {
+		d, err := experiments.Find(n, sc, seed)
+		if err != nil {
+			return nil, "", err
+		}
+		defs = append(defs, d)
+	}
+	return defs, strings.Join(names, "+"), nil
 }

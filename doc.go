@@ -6,7 +6,9 @@
 // exploration, neighbor update) in internal/core, its substrates
 // (simulator, network model, topology, statistics, digests, workloads)
 // in sibling packages, and three case-study bindings (gnutella,
-// webcache, peerolap). cmd/repro regenerates every figure of the
-// paper's evaluation; bench_test.go in this directory does the same
-// under `go test -bench`. See README.md, DESIGN.md and EXPERIMENTS.md.
+// webcache, peerolap). internal/runner shards independent experiment
+// cells across a worker pool with deterministic results at any worker
+// count. cmd/repro regenerates every figure of the paper's evaluation;
+// bench_test.go in this directory does the same under `go test
+// -bench`. See README.md, DESIGN.md and EXPERIMENTS.md.
 package repro

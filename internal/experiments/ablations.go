@@ -1,20 +1,23 @@
 package experiments
 
 import (
-	"sync"
+	"context"
+	"fmt"
 
 	"repro/internal/gnutella"
 	"repro/internal/metrics"
-	"repro/internal/netsim"
 	"repro/internal/peerolap"
 	"repro/internal/webcache"
 	"repro/internal/workload"
+
+	"repro/internal/runner"
 )
 
 // This file implements the ablation experiments of DESIGN.md: the
 // orthogonal techniques of [10] composed with reconfiguration, the
 // asymmetric-vs-symmetric update regimes, benefit-function sensitivity,
-// and the two additional case studies (web caching, PeerOlap).
+// and the two additional case studies (web caching, PeerOlap). Like the
+// figures, each decomposes into runner cells plus an assemble step.
 
 // VariantRow summarizes one gnutella variant run.
 type VariantRow struct {
@@ -26,27 +29,31 @@ type VariantRow struct {
 	MeanFirstResultMs float64
 }
 
-// runVariants executes a set of named gnutella configurations
-// concurrently and tabulates them.
-func runVariants(names []string, cfgs []gnutella.Config) []VariantRow {
-	rows := make([]VariantRow, len(cfgs))
-	var wg sync.WaitGroup
+// variantCells wraps a set of named gnutella configurations.
+func variantCells(experiment string, names []string, cfgs []gnutella.Config) []runner.Cell {
+	cells := make([]runner.Cell, len(cfgs))
 	for i := range cfgs {
-		i := i
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			m := gnutella.New(cfgs[i]).Run()
-			rows[i] = VariantRow{
-				Name:              names[i],
-				Hits:              m.Hits.Total(),
-				Messages:          m.Meter.Total(netsim.MsgQuery),
-				MeanFirstResultMs: m.FirstResultDelay.Mean() * 1000,
-			}
-		}()
+		cells[i] = gnutellaCell(experiment, names[i], cfgs[i])
 	}
-	wg.Wait()
-	return rows
+	return cells
+}
+
+// AssembleVariants tabulates variant cells in submission order.
+func AssembleVariants(rs []runner.Result) ([]VariantRow, error) {
+	rows := make([]VariantRow, len(rs))
+	for i := range rs {
+		m, err := gnutellaValue(rs, i)
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = VariantRow{
+			Name:              rs[i].Cell,
+			Hits:              m.HitsTotal,
+			Messages:          m.QueryMsgsTotal,
+			MeanFirstResultMs: m.FirstResultMsMean,
+		}
+	}
+	return rows, nil
 }
 
 // VariantTable renders variant rows.
@@ -58,73 +65,93 @@ func VariantTable(title string, rows []VariantRow) *metrics.Table {
 	return t
 }
 
-// DirectedBFT compares flooding, Directed BFT (K=2) and random-2
-// forwarding on the dynamic system — technique (ii) of [10], which the
-// paper says can be employed "to further reduce the query cost".
-func DirectedBFT(scale Scale, seed uint64) []VariantRow {
+// DirectedBFTCells builds the forward-policy comparison cells.
+func DirectedBFTCells(experiment string, scale Scale, seed uint64) []runner.Cell {
 	base := scale.config(gnutella.Dynamic, 3, seed)
 	directed := base
 	directed.Variant.Forward = gnutella.ForwardDirected2
 	random := base
 	random.Variant.Forward = gnutella.ForwardRandom2
-	return runVariants(
+	return variantCells(experiment,
 		[]string{"flood", "directed-bft-2", "random-2"},
-		[]gnutella.Config{base, directed, random},
-	)
+		[]gnutella.Config{base, directed, random})
+}
+
+// DirectedBFT compares flooding, Directed BFT (K=2) and random-2
+// forwarding on the dynamic system — technique (ii) of [10], which the
+// paper says can be employed "to further reduce the query cost".
+func DirectedBFT(scale Scale, seed uint64) []VariantRow {
+	return must(AssembleVariants(runLocal(DirectedBFTCells("directed", scale, seed))))
+}
+
+// IterDeepeningCells builds the deepening-schedule comparison cells.
+func IterDeepeningCells(experiment string, scale Scale, seed uint64) []runner.Cell {
+	base := scale.config(gnutella.Dynamic, 3, seed)
+	deep := base
+	deep.Variant.IterativeDeepening = []int{1, 3}
+	deep.Variant.DeepeningTimeout = 2.0
+	return variantCells(experiment,
+		[]string{"flood-ttl3", "deepening-1-3"},
+		[]gnutella.Config{base, deep})
 }
 
 // IterDeepening compares one full-depth flood against the iterative
 // deepening schedule {1, TTL} — technique (i) of [10].
 func IterDeepening(scale Scale, seed uint64) []VariantRow {
-	base := scale.config(gnutella.Dynamic, 3, seed)
-	deep := base
-	deep.Variant.IterativeDeepening = []int{1, 3}
-	deep.Variant.DeepeningTimeout = 2.0
-	return runVariants(
-		[]string{"flood-ttl3", "deepening-1-3"},
-		[]gnutella.Config{base, deep},
-	)
+	return must(AssembleVariants(runLocal(IterDeepeningCells("iterdeep", scale, seed))))
+}
+
+// LocalIndicesCells builds the local-indices comparison cells.
+func LocalIndicesCells(experiment string, scale Scale, seed uint64) []runner.Cell {
+	base := scale.config(gnutella.Dynamic, 2, seed)
+	indexed := base
+	indexed.Variant.UseLocalIndices = true
+	return variantCells(experiment,
+		[]string{"flood-ttl2", "local-indices-r1"},
+		[]gnutella.Config{base, indexed})
 }
 
 // LocalIndices compares the plain dynamic flood against technique
 // (iii) of [10]: radius-1 local indices with the flood shortened by one
 // hop. Same nominal coverage, one hop less propagation.
 func LocalIndices(scale Scale, seed uint64) []VariantRow {
-	base := scale.config(gnutella.Dynamic, 2, seed)
-	indexed := base
-	indexed.Variant.UseLocalIndices = true
-	return runVariants(
-		[]string{"flood-ttl2", "local-indices-r1"},
-		[]gnutella.Config{base, indexed},
-	)
+	return must(AssembleVariants(runLocal(LocalIndicesCells("localindex", scale, seed))))
+}
+
+// AsymmetricUpdateCells builds the update-regime comparison cells.
+func AsymmetricUpdateCells(experiment string, scale Scale, seed uint64) []runner.Cell {
+	static := scale.config(gnutella.Static, 2, seed)
+	symmetric := scale.config(gnutella.Dynamic, 2, seed)
+	asymmetric := symmetric
+	asymmetric.Variant.Update = gnutella.AsymmetricUpdate
+	return variantCells(experiment,
+		[]string{"static", "dynamic-symmetric", "dynamic-asymmetric"},
+		[]gnutella.Config{static, symmetric, asymmetric})
 }
 
 // AsymmetricUpdate compares the paper's symmetric (Algo 4) update with
 // the unilateral asymmetric (Algo 3) regime on the same workload.
 func AsymmetricUpdate(scale Scale, seed uint64) []VariantRow {
-	static := scale.config(gnutella.Static, 2, seed)
-	symmetric := scale.config(gnutella.Dynamic, 2, seed)
-	asymmetric := symmetric
-	asymmetric.Variant.Update = gnutella.AsymmetricUpdate
-	return runVariants(
-		[]string{"static", "dynamic-symmetric", "dynamic-asymmetric"},
-		[]gnutella.Config{static, symmetric, asymmetric},
-	)
+	return must(AssembleVariants(runLocal(AsymmetricUpdateCells("asym", scale, seed))))
+}
+
+// BenefitFunctionsCells builds the benefit-sensitivity cells.
+func BenefitFunctionsCells(experiment string, scale Scale, seed uint64) []runner.Cell {
+	br := scale.config(gnutella.Dynamic, 2, seed)
+	hits := br
+	hits.Variant.Benefit = gnutella.BenefitHitCount
+	lat := br
+	lat.Variant.Benefit = gnutella.BenefitHitsPerLatency
+	return variantCells(experiment,
+		[]string{"B/R (paper)", "hit-count", "hits-per-latency"},
+		[]gnutella.Config{br, hits, lat})
 }
 
 // BenefitFunctions measures the sensitivity of the dynamic gain to the
 // benefit definition (Section 3.4: "the benefit function should capture
 // the general goals and characteristics of the system").
 func BenefitFunctions(scale Scale, seed uint64) []VariantRow {
-	br := scale.config(gnutella.Dynamic, 2, seed)
-	hits := br
-	hits.Variant.Benefit = gnutella.BenefitHitCount
-	lat := br
-	lat.Variant.Benefit = gnutella.BenefitHitsPerLatency
-	return runVariants(
-		[]string{"B/R (paper)", "hit-count", "hits-per-latency"},
-		[]gnutella.Config{br, hits, lat},
-	)
+	return must(AssembleVariants(runLocal(BenefitFunctionsCells("benefit", scale, seed))))
 }
 
 // DriftRow is one sampled hour of the preference-drift experiment.
@@ -134,14 +161,10 @@ type DriftRow struct {
 	DynamicDecayHits        float64
 }
 
-// Drift evaluates the framework's central motivation — following
-// "changes in access patterns": at mid-run every user's music
-// preferences change; the static network cannot react, the dynamic one
-// re-adapts, and hourly ledger decay (aging out stale statistics)
-// accelerates the recovery.
-func Drift(scale Scale, seed uint64) []DriftRow {
-	base := scale.config(gnutella.Static, 2, seed)
-	duration := base.DurationHours
+// DriftCells builds the three drift cells: static, dynamic, and
+// dynamic with hourly ledger decay.
+func DriftCells(experiment string, scale Scale, seed uint64) []runner.Cell {
+	duration := scale.config(gnutella.Static, 2, seed).DurationHours
 	at := duration / 2
 	mk := func(mode gnutella.Mode, decay float64) gnutella.Config {
 		c := scale.config(mode, 2, seed)
@@ -150,34 +173,45 @@ func Drift(scale Scale, seed uint64) []DriftRow {
 		c.LedgerDecayPerHour = decay
 		return c
 	}
-	var sm, dm, dd *gnutella.Metrics
-	var wg sync.WaitGroup
-	for _, job := range []struct {
-		cfg gnutella.Config
-		out **gnutella.Metrics
-	}{
-		{mk(gnutella.Static, 0), &sm},
-		{mk(gnutella.Dynamic, 0), &dm},
-		{mk(gnutella.Dynamic, 0.7), &dd},
-	} {
-		job := job
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			*job.out = gnutella.New(job.cfg).Run()
-		}()
+	return variantCells(experiment,
+		[]string{"static", "dynamic", "dynamic-decay"},
+		[]gnutella.Config{mk(gnutella.Static, 0), mk(gnutella.Dynamic, 0), mk(gnutella.Dynamic, 0.7)})
+}
+
+// AssembleDrift builds the hourly drift rows from DriftCells results.
+func AssembleDrift(scale Scale, seed uint64, rs []runner.Result) ([]DriftRow, error) {
+	sm, err := gnutellaValue(rs, 0)
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
+	dm, err := gnutellaValue(rs, 1)
+	if err != nil {
+		return nil, err
+	}
+	dd, err := gnutellaValue(rs, 2)
+	if err != nil {
+		return nil, err
+	}
+	duration := scale.config(gnutella.Static, 2, seed).DurationHours
 	var rows []DriftRow
 	for h := 0; h < duration; h++ {
 		rows = append(rows, DriftRow{
 			Hour:             h,
-			StaticHits:       sm.Hits.Bucket(h),
-			DynamicHits:      dm.Hits.Bucket(h),
-			DynamicDecayHits: dd.Hits.Bucket(h),
+			StaticHits:       bucketF(sm.HitsHourly, h),
+			DynamicHits:      bucketF(dm.HitsHourly, h),
+			DynamicDecayHits: bucketF(dd.HitsHourly, h),
 		})
 	}
-	return rows
+	return rows, nil
+}
+
+// Drift evaluates the framework's central motivation — following
+// "changes in access patterns": at mid-run every user's music
+// preferences change; the static network cannot react, the dynamic one
+// re-adapts, and hourly ledger decay (aging out stale statistics)
+// accelerates the recovery.
+func Drift(scale Scale, seed uint64) []DriftRow {
+	return must(AssembleDrift(scale, seed, runLocal(DriftCells("drift", scale, seed))))
 }
 
 // DriftTable renders the drift series.
@@ -190,56 +224,89 @@ func DriftTable(rows []DriftRow) *metrics.Table {
 	return t
 }
 
-// WebCacheRow is one row of the web-caching experiment.
+// WebCacheRow is one row of the web-caching experiment; it is also the
+// JSON `value` schema of webcache cells in cells.json.
 type WebCacheRow struct {
-	Name             string
-	NeighborHitRatio float64
-	MeanLatencyMs    float64
-	OriginFetches    float64
+	Name             string  `json:"name"`
+	NeighborHitRatio float64 `json:"neighbor_hit_ratio"`
+	MeanLatencyMs    float64 `json:"mean_latency_ms"`
+	OriginFetches    float64 `json:"origin_fetches"`
+}
+
+// webcacheConfig scales one web-caching configuration.
+func webcacheConfig(scale Scale, mode webcache.Mode, digests bool, seed uint64) webcache.Config {
+	c := webcache.DefaultConfig(mode)
+	if scale == CI {
+		c.Web = workload.WebConfig{
+			Pages: 5000, Interests: 10, PopularityTheta: 0.9,
+			Proxies: 30, LocalFraction: 0.7, RequestsPerHour: 600,
+		}
+		c.CacheCapacity = 100
+		c.DurationHours = 12
+	}
+	c.UseDigests = digests
+	c.Seed = seed
+	return c
+}
+
+// WebCacheCells builds the three web-caching cells.
+func WebCacheCells(experiment string, scale Scale, seed uint64) []runner.Cell {
+	type variant struct {
+		name    string
+		mode    webcache.Mode
+		digests bool
+	}
+	variants := []variant{
+		{"static", webcache.Static, false},
+		{"dynamic", webcache.Dynamic, false},
+		{"dynamic+digests", webcache.Dynamic, true},
+	}
+	cells := make([]runner.Cell, len(variants))
+	for i, v := range variants {
+		cfg := webcacheConfig(scale, v.mode, v.digests, seed)
+		name := v.name
+		cells[i] = runner.Cell{
+			Experiment: experiment,
+			Name:       name,
+			Seed:       cfg.Seed,
+			Run: func(_ context.Context, seed uint64) (any, error) {
+				c := cfg
+				c.Seed = seed
+				m := webcache.New(c).Run()
+				half := c.DurationHours / 2
+				return &WebCacheRow{
+					Name:             name,
+					NeighborHitRatio: m.NeighborHitRatio(half, c.DurationHours),
+					MeanLatencyMs:    m.Latency.Mean() * 1000,
+					OriginFetches:    m.OriginFetches.Total(),
+				}, nil
+			},
+		}
+	}
+	return cells
+}
+
+// AssembleWebCache tabulates web-caching cells.
+func AssembleWebCache(rs []runner.Result) ([]WebCacheRow, error) {
+	rows := make([]WebCacheRow, len(rs))
+	for i, r := range rs {
+		if r.Err != "" {
+			return nil, fmt.Errorf("experiments: cell %s/%s failed: %s", r.Experiment, r.Cell, r.Err)
+		}
+		row, ok := r.Value.(*WebCacheRow)
+		if !ok {
+			return nil, fmt.Errorf("experiments: cell %s/%s has value %T, want *WebCacheRow",
+				r.Experiment, r.Cell, r.Value)
+		}
+		rows[i] = *row
+	}
+	return rows, nil
 }
 
 // WebCache compares static and dynamic Squid-like proxy cooperation,
 // with and without digest guidance.
 func WebCache(scale Scale, seed uint64) []WebCacheRow {
-	cfg := func(mode webcache.Mode, digests bool) webcache.Config {
-		c := webcache.DefaultConfig(mode)
-		if scale == CI {
-			c.Web = workload.WebConfig{
-				Pages: 5000, Interests: 10, PopularityTheta: 0.9,
-				Proxies: 30, LocalFraction: 0.7, RequestsPerHour: 600,
-			}
-			c.CacheCapacity = 100
-			c.DurationHours = 12
-		}
-		c.UseDigests = digests
-		c.Seed = seed
-		return c
-	}
-	names := []string{"static", "dynamic", "dynamic+digests"}
-	cfgs := []webcache.Config{
-		cfg(webcache.Static, false),
-		cfg(webcache.Dynamic, false),
-		cfg(webcache.Dynamic, true),
-	}
-	rows := make([]WebCacheRow, len(cfgs))
-	var wg sync.WaitGroup
-	for i := range cfgs {
-		i := i
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			m := webcache.New(cfgs[i]).Run()
-			half := cfgs[i].DurationHours / 2
-			rows[i] = WebCacheRow{
-				Name:             names[i],
-				NeighborHitRatio: m.NeighborHitRatio(half, cfgs[i].DurationHours),
-				MeanLatencyMs:    m.Latency.Mean() * 1000,
-				OriginFetches:    m.OriginFetches.Total(),
-			}
-		}()
-	}
-	wg.Wait()
-	return rows
+	return must(AssembleWebCache(runLocal(WebCacheCells("webcache", scale, seed))))
 }
 
 // WebCacheTable renders the web-caching rows.
@@ -252,51 +319,83 @@ func WebCacheTable(rows []WebCacheRow) *metrics.Table {
 	return t
 }
 
-// PeerOlapRow is one row of the PeerOlap experiment.
+// PeerOlapRow is one row of the PeerOlap experiment; it is also the
+// JSON `value` schema of peerolap cells in cells.json.
 type PeerOlapRow struct {
-	Name            string
-	MeanQueryCostS  float64
-	PeerHitRatio    float64
-	WarehouseChunks float64
+	Name            string  `json:"name"`
+	MeanQueryCostS  float64 `json:"mean_query_cost_s"`
+	PeerHitRatio    float64 `json:"peer_hit_ratio"`
+	WarehouseChunks float64 `json:"warehouse_chunks"`
+}
+
+// peerolapConfig scales one PeerOlap configuration.
+func peerolapConfig(scale Scale, mode peerolap.Mode, seed uint64) peerolap.Config {
+	c := peerolap.DefaultConfig(mode)
+	if scale == CI {
+		c.Olap = workload.OlapConfig{
+			Chunks: 4800, Regions: 12, PopularityTheta: 0.9,
+			Peers: 60, LocalFraction: 0.8, ChunksPerQueryMean: 4,
+			QueriesPerHour: 30,
+		}
+		c.CacheChunks = 150
+		c.DurationHours = 16
+	}
+	c.Seed = seed
+	return c
+}
+
+// PeerOlapCells builds the two PeerOlap cells.
+func PeerOlapCells(experiment string, scale Scale, seed uint64) []runner.Cell {
+	type variant struct {
+		name string
+		mode peerolap.Mode
+	}
+	variants := []variant{{"static", peerolap.Static}, {"dynamic", peerolap.Dynamic}}
+	cells := make([]runner.Cell, len(variants))
+	for i, v := range variants {
+		cfg := peerolapConfig(scale, v.mode, seed)
+		name := v.name
+		cells[i] = runner.Cell{
+			Experiment: experiment,
+			Name:       name,
+			Seed:       cfg.Seed,
+			Run: func(_ context.Context, seed uint64) (any, error) {
+				c := cfg
+				c.Seed = seed
+				m := peerolap.New(c).Run()
+				half := c.DurationHours / 2
+				return &PeerOlapRow{
+					Name:            name,
+					MeanQueryCostS:  m.QueryCost.Mean(),
+					PeerHitRatio:    m.PeerHitRatio(half, c.DurationHours),
+					WarehouseChunks: m.WarehouseChunks.Total(),
+				}, nil
+			},
+		}
+	}
+	return cells
+}
+
+// AssemblePeerOlap tabulates PeerOlap cells.
+func AssemblePeerOlap(rs []runner.Result) ([]PeerOlapRow, error) {
+	rows := make([]PeerOlapRow, len(rs))
+	for i, r := range rs {
+		if r.Err != "" {
+			return nil, fmt.Errorf("experiments: cell %s/%s failed: %s", r.Experiment, r.Cell, r.Err)
+		}
+		row, ok := r.Value.(*PeerOlapRow)
+		if !ok {
+			return nil, fmt.Errorf("experiments: cell %s/%s has value %T, want *PeerOlapRow",
+				r.Experiment, r.Cell, r.Value)
+		}
+		rows[i] = *row
+	}
+	return rows, nil
 }
 
 // PeerOlap compares static and dynamic chunk-cache cooperation.
 func PeerOlap(scale Scale, seed uint64) []PeerOlapRow {
-	cfg := func(mode peerolap.Mode) peerolap.Config {
-		c := peerolap.DefaultConfig(mode)
-		if scale == CI {
-			c.Olap = workload.OlapConfig{
-				Chunks: 4800, Regions: 12, PopularityTheta: 0.9,
-				Peers: 60, LocalFraction: 0.8, ChunksPerQueryMean: 4,
-				QueriesPerHour: 30,
-			}
-			c.CacheChunks = 150
-			c.DurationHours = 16
-		}
-		c.Seed = seed
-		return c
-	}
-	names := []string{"static", "dynamic"}
-	cfgs := []peerolap.Config{cfg(peerolap.Static), cfg(peerolap.Dynamic)}
-	rows := make([]PeerOlapRow, len(cfgs))
-	var wg sync.WaitGroup
-	for i := range cfgs {
-		i := i
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			m := peerolap.New(cfgs[i]).Run()
-			half := cfgs[i].DurationHours / 2
-			rows[i] = PeerOlapRow{
-				Name:            names[i],
-				MeanQueryCostS:  m.QueryCost.Mean(),
-				PeerHitRatio:    m.PeerHitRatio(half, cfgs[i].DurationHours),
-				WarehouseChunks: m.WarehouseChunks.Total(),
-			}
-		}()
-	}
-	wg.Wait()
-	return rows
+	return must(AssemblePeerOlap(runLocal(PeerOlapCells("peerolap", scale, seed))))
 }
 
 // PeerOlapTable renders the PeerOlap rows.

@@ -1,18 +1,32 @@
 // Package experiments regenerates every table and figure of the
 // paper's evaluation (Section 4.3) plus the ablations listed in
-// DESIGN.md. Each Fig* function runs the required simulations and
-// returns the series in the same row shape the paper plots; the CLI
-// (cmd/repro), the benchmark harness (bench_test.go) and the
-// integration tests all consume these.
+// DESIGN.md.
+//
+// Each experiment decomposes into runner.Cells — one isolated
+// simulation per cell — via its *Cells constructor, and reassembles
+// the finished results into paper-shaped rows via its assemble
+// function. The typed Fig*/ablation entry points (Fig1, Fig3a,
+// DirectedBFT, ...) bundle both steps over a default worker pool; the
+// CLI (cmd/repro) instead merges the cells of many experiments into
+// one pooled runner.Run so the whole evaluation shards across cores.
+// See EXPERIMENTS.md for the experiment ↔ paper-figure map and the
+// artifact schema.
+//
+// Seeding: all cells of one experiment share the experiment seed, so
+// static/dynamic comparisons are paired (identical workload streams) —
+// the paper's methodology. Cells never draw seeds from shared state at
+// run time, which is what keeps results independent of the worker
+// count.
 package experiments
 
 import (
+	"context"
 	"fmt"
-	"sync"
 
 	"repro/internal/gnutella"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
+	"repro/internal/runner"
 )
 
 // Scale selects the experiment size.
@@ -81,21 +95,116 @@ func (s Scale) warmupHours() int {
 	return 3
 }
 
-// runPair executes the static and dynamic variants concurrently —
-// independent simulations parallelize trivially.
-func runPair(static, dynamic gnutella.Config) (sm, dm *gnutella.Metrics) {
-	var wg sync.WaitGroup
-	wg.Add(2)
-	go func() {
-		defer wg.Done()
-		sm = gnutella.New(static).Run()
-	}()
-	go func() {
-		defer wg.Done()
-		dm = gnutella.New(dynamic).Run()
-	}()
-	wg.Wait()
-	return sm, dm
+// GnutellaSummary is the JSON-stable output of one gnutella cell: the
+// hourly series plus the scalar aggregates every figure and ablation
+// is assembled from. This is the `value` schema of gnutella cells in
+// runs/<name>/cells.json (see EXPERIMENTS.md).
+type GnutellaSummary struct {
+	// HitsHourly and QueryMsgsHourly are the per-simulated-hour series
+	// behind Figures 1 and 2.
+	HitsHourly      []float64 `json:"hits_hourly"`
+	QueryMsgsHourly []uint64  `json:"query_msgs_hourly"`
+	// HitsTotal and QueryMsgsTotal are whole-run totals.
+	HitsTotal      float64 `json:"hits_total"`
+	QueryMsgsTotal uint64  `json:"query_msgs_total"`
+	// FirstResultMsMean is the mean first-result delay over satisfied
+	// queries, in milliseconds (Figure 3(a)'s y-axis).
+	FirstResultMsMean float64 `json:"first_result_ms_mean"`
+	// TotalResults counts every obtained result (Figure 3(a)
+	// annotations).
+	TotalResults uint64 `json:"total_results"`
+	// Reconfigurations counts neighborhood changes.
+	Reconfigurations uint64 `json:"reconfigurations"`
+}
+
+// summarizeGnutella projects run metrics onto the JSON-stable form.
+func summarizeGnutella(m *gnutella.Metrics) *GnutellaSummary {
+	return &GnutellaSummary{
+		HitsHourly:        m.Hits.Values(),
+		QueryMsgsHourly:   m.Meter.Series(netsim.MsgQuery),
+		HitsTotal:         m.Hits.Total(),
+		QueryMsgsTotal:    m.Meter.Total(netsim.MsgQuery),
+		FirstResultMsMean: m.FirstResultDelay.Mean() * 1000,
+		TotalResults:      m.TotalResults,
+		Reconfigurations:  m.Reconfigurations,
+	}
+}
+
+// gnutellaCell wraps one gnutella configuration as a runner cell.
+func gnutellaCell(experiment, name string, cfg gnutella.Config) runner.Cell {
+	return runner.Cell{
+		Experiment: experiment,
+		Name:       name,
+		Seed:       cfg.Seed,
+		Run: func(_ context.Context, seed uint64) (any, error) {
+			c := cfg
+			c.Seed = seed
+			return summarizeGnutella(gnutella.New(c).Run()), nil
+		},
+	}
+}
+
+// runLocal executes cells on the default pool (GOMAXPROCS workers) and
+// panics on any cell failure — the typed Fig* wrappers keep the
+// crash-loudly contract the package always had. The CLI drives the
+// runner directly and handles failures gracefully instead.
+func runLocal(cells []runner.Cell) []runner.Result {
+	rs, _ := runner.Run(context.Background(), cells, runner.Options{})
+	if err := runner.FirstError(rs); err != nil {
+		panic(err)
+	}
+	return rs
+}
+
+// must unwraps an assemble result inside the typed wrappers.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// gnutellaValue extracts the summary of result i, validating shape.
+func gnutellaValue(rs []runner.Result, i int) (*GnutellaSummary, error) {
+	if i >= len(rs) {
+		return nil, fmt.Errorf("experiments: missing cell %d (have %d results)", i, len(rs))
+	}
+	if rs[i].Err != "" {
+		return nil, fmt.Errorf("experiments: cell %s/%s failed: %s", rs[i].Experiment, rs[i].Cell, rs[i].Err)
+	}
+	g, ok := rs[i].Value.(*GnutellaSummary)
+	if !ok {
+		return nil, fmt.Errorf("experiments: cell %s/%s has value %T, want *GnutellaSummary",
+			rs[i].Experiment, rs[i].Cell, rs[i].Value)
+	}
+	return g, nil
+}
+
+// bucketF and bucketU index an hourly series like metrics.Series
+// (out-of-range buckets read as zero).
+func bucketF(s []float64, b int) float64 {
+	if b < 0 || b >= len(s) {
+		return 0
+	}
+	return s[b]
+}
+
+func bucketU(s []uint64, b int) uint64 {
+	if b < 0 || b >= len(s) {
+		return 0
+	}
+	return s[b]
+}
+
+// windowF sums buckets [from, to).
+func windowF(s []float64, from, to int) float64 {
+	t := 0.0
+	for b := from; b < to && b < len(s); b++ {
+		if b >= 0 {
+			t += s[b]
+		}
+	}
+	return t
 }
 
 // HourlyRow is one sampled hour of a Figures 1/2 series.
@@ -132,32 +241,55 @@ func (f *FigSeries) MsgsTable(name string) *metrics.Table {
 	return t
 }
 
-// FigHourly runs the Figure 1 (ttl=2) or Figure 2 (ttl=4) experiment:
-// hits per hour and query messages per hour for both variants.
-func FigHourly(scale Scale, ttl int, seed uint64) *FigSeries {
-	sm, dm := runPair(scale.config(gnutella.Static, ttl, seed), scale.config(gnutella.Dynamic, ttl, seed))
+// FigHourlyCells returns the two paired cells (static, dynamic) of a
+// Figure 1/2 experiment.
+func FigHourlyCells(experiment string, scale Scale, ttl int, seed uint64) []runner.Cell {
+	return []runner.Cell{
+		gnutellaCell(experiment, "static", scale.config(gnutella.Static, ttl, seed)),
+		gnutellaCell(experiment, "dynamic", scale.config(gnutella.Dynamic, ttl, seed)),
+	}
+}
+
+// AssembleFigSeries builds the hourly series from the results of
+// FigHourlyCells.
+func AssembleFigSeries(scale Scale, ttl int, rs []runner.Result) (*FigSeries, error) {
+	sm, err := gnutellaValue(rs, 0)
+	if err != nil {
+		return nil, err
+	}
+	dm, err := gnutellaValue(rs, 1)
+	if err != nil {
+		return nil, err
+	}
 	out := &FigSeries{TTL: ttl}
 	for _, h := range scale.reportHours() {
 		out.Rows = append(out.Rows, HourlyRow{
 			Hour:        h,
-			StaticHits:  sm.Hits.Bucket(h),
-			DynamicHits: dm.Hits.Bucket(h),
-			StaticMsgs:  float64(sm.Meter.Bucket(netsim.MsgQuery, h)),
-			DynamicMsgs: float64(dm.Meter.Bucket(netsim.MsgQuery, h)),
+			StaticHits:  bucketF(sm.HitsHourly, h),
+			DynamicHits: bucketF(dm.HitsHourly, h),
+			StaticMsgs:  float64(bucketU(sm.QueryMsgsHourly, h)),
+			DynamicMsgs: float64(bucketU(dm.QueryMsgsHourly, h)),
 		})
 	}
 	from := scale.warmupHours()
-	end := sm.Hits.Len()
-	if l := dm.Hits.Len(); l > end {
+	end := len(sm.HitsHourly)
+	if l := len(dm.HitsHourly); l > end {
 		end = l
 	}
-	out.StaticHitsTotal = sm.Hits.Window(from, end)
-	out.DynamicHitsTotal = dm.Hits.Window(from, end)
+	out.StaticHitsTotal = windowF(sm.HitsHourly, from, end)
+	out.DynamicHitsTotal = windowF(dm.HitsHourly, from, end)
 	for b := from; b < end; b++ {
-		out.StaticMsgsTotal += float64(sm.Meter.Bucket(netsim.MsgQuery, b))
-		out.DynamicMsgsTotal += float64(dm.Meter.Bucket(netsim.MsgQuery, b))
+		out.StaticMsgsTotal += float64(bucketU(sm.QueryMsgsHourly, b))
+		out.DynamicMsgsTotal += float64(bucketU(dm.QueryMsgsHourly, b))
 	}
-	return out
+	return out, nil
+}
+
+// FigHourly runs the Figure 1 (ttl=2) or Figure 2 (ttl=4) experiment:
+// hits per hour and query messages per hour for both variants.
+func FigHourly(scale Scale, ttl int, seed uint64) *FigSeries {
+	cells := FigHourlyCells(fmt.Sprintf("fig-ttl%d", ttl), scale, ttl, seed)
+	return must(AssembleFigSeries(scale, ttl, runLocal(cells)))
 }
 
 // Fig1 is Figure 1: hops = 2.
@@ -177,28 +309,49 @@ type Fig3aRow struct {
 	StaticResults, DynamicResults uint64
 }
 
+// fig3aTTLs is the x-axis of Figure 3(a).
+var fig3aTTLs = []int{1, 2, 3, 4}
+
+// Fig3aCells returns the eight cells of the response-time experiment:
+// TTL ∈ {1, 2, 3, 4}, both variants, pairwise ordered (static, dynamic).
+func Fig3aCells(experiment string, scale Scale, seed uint64) []runner.Cell {
+	var cells []runner.Cell
+	for _, ttl := range fig3aTTLs {
+		cells = append(cells,
+			gnutellaCell(experiment, fmt.Sprintf("static-ttl%d", ttl), scale.config(gnutella.Static, ttl, seed)),
+			gnutellaCell(experiment, fmt.Sprintf("dynamic-ttl%d", ttl), scale.config(gnutella.Dynamic, ttl, seed)),
+		)
+	}
+	return cells
+}
+
+// AssembleFig3a builds the rows from the results of Fig3aCells.
+func AssembleFig3a(rs []runner.Result) ([]Fig3aRow, error) {
+	rows := make([]Fig3aRow, len(fig3aTTLs))
+	for i, ttl := range fig3aTTLs {
+		sm, err := gnutellaValue(rs, 2*i)
+		if err != nil {
+			return nil, err
+		}
+		dm, err := gnutellaValue(rs, 2*i+1)
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = Fig3aRow{
+			TTL:            ttl,
+			StaticDelayMs:  sm.FirstResultMsMean,
+			DynamicDelayMs: dm.FirstResultMsMean,
+			StaticResults:  sm.TotalResults,
+			DynamicResults: dm.TotalResults,
+		}
+	}
+	return rows, nil
+}
+
 // Fig3a runs the response-time experiment: TTL ∈ {1, 2, 3, 4}, both
 // variants.
 func Fig3a(scale Scale, seed uint64) []Fig3aRow {
-	rows := make([]Fig3aRow, 4)
-	var wg sync.WaitGroup
-	for i, ttl := range []int{1, 2, 3, 4} {
-		i, ttl := i, ttl
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			sm, dm := runPair(scale.config(gnutella.Static, ttl, seed), scale.config(gnutella.Dynamic, ttl, seed))
-			rows[i] = Fig3aRow{
-				TTL:            ttl,
-				StaticDelayMs:  sm.FirstResultDelay.Mean() * 1000,
-				DynamicDelayMs: dm.FirstResultDelay.Mean() * 1000,
-				StaticResults:  sm.TotalResults,
-				DynamicResults: dm.TotalResults,
-			}
-		}()
-	}
-	wg.Wait()
-	return rows
+	return must(AssembleFig3a(runLocal(Fig3aCells("fig3a", scale, seed))))
 }
 
 // Fig3aTable renders Figure 3(a).
@@ -220,35 +373,44 @@ type Fig3bRow struct {
 	StaticHits float64
 }
 
+// fig3bThresholds is the x-axis of Figure 3(b).
+var fig3bThresholds = []int{1, 2, 4, 8, 16}
+
+// Fig3bCells returns the six cells of the reconfiguration-threshold
+// sweep: the static baseline followed by θ ∈ {1, 2, 4, 8, 16} at TTL 2.
+func Fig3bCells(experiment string, scale Scale, seed uint64) []runner.Cell {
+	cells := []runner.Cell{
+		gnutellaCell(experiment, "static", scale.config(gnutella.Static, 2, seed)),
+	}
+	for _, th := range fig3bThresholds {
+		cfg := scale.config(gnutella.Dynamic, 2, seed)
+		cfg.ReconfigThreshold = th
+		cells = append(cells, gnutellaCell(experiment, fmt.Sprintf("dynamic-theta%d", th), cfg))
+	}
+	return cells
+}
+
+// AssembleFig3b builds the rows from the results of Fig3bCells.
+func AssembleFig3b(rs []runner.Result) ([]Fig3bRow, error) {
+	sm, err := gnutellaValue(rs, 0)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig3bRow, len(fig3bThresholds))
+	for i, th := range fig3bThresholds {
+		dm, err := gnutellaValue(rs, i+1)
+		if err != nil {
+			return nil, err
+		}
+		rows[i] = Fig3bRow{Threshold: th, DynamicHits: dm.HitsTotal, StaticHits: sm.HitsTotal}
+	}
+	return rows, nil
+}
+
 // Fig3b runs the reconfiguration-threshold sweep: θ ∈ {1, 2, 4, 8, 16}
 // at TTL 2, against the static baseline.
 func Fig3b(scale Scale, seed uint64) []Fig3bRow {
-	thresholds := []int{1, 2, 4, 8, 16}
-	rows := make([]Fig3bRow, len(thresholds))
-	var staticHits float64
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		m := gnutella.New(scale.config(gnutella.Static, 2, seed)).Run()
-		staticHits = m.Hits.Total()
-	}()
-	for i, th := range thresholds {
-		i, th := i, th
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			cfg := scale.config(gnutella.Dynamic, 2, seed)
-			cfg.ReconfigThreshold = th
-			m := gnutella.New(cfg).Run()
-			rows[i] = Fig3bRow{Threshold: th, DynamicHits: m.Hits.Total()}
-		}()
-	}
-	wg.Wait()
-	for i := range rows {
-		rows[i].StaticHits = staticHits
-	}
-	return rows
+	return must(AssembleFig3b(runLocal(Fig3bCells("fig3b", scale, seed))))
 }
 
 // Fig3bTable renders Figure 3(b).

@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/runner"
+)
+
+// Definition is one named experiment, materialized for a scale and
+// seed: the runner cells to execute plus the renderer that turns the
+// finished results into paper-shaped tables. The CLI concatenates the
+// cells of every selected definition into a single runner.Run, so the
+// whole evaluation shares one worker pool.
+type Definition struct {
+	// Name is the CLI name ("fig1", "directed", ...).
+	Name string
+	// Cells are the independent simulations, in a fixed order the
+	// Tables renderer relies on.
+	Cells []runner.Cell
+	// Tables renders this definition's slice of the results (same
+	// order and length as Cells).
+	Tables func(rs []runner.Result) ([]*metrics.Table, error)
+}
+
+// Registry returns every canonical experiment in presentation order —
+// the set run by `repro -exp all`. Aliases that re-render a subset of
+// another experiment's tables (fig1a, fig2b, ...) are resolved by Find
+// but excluded here so their cells never run twice.
+func Registry(scale Scale, seed uint64) []Definition {
+	figTables := func(ttl int, hits, msgs string) func(rs []runner.Result) ([]*metrics.Table, error) {
+		return func(rs []runner.Result) ([]*metrics.Table, error) {
+			f, err := AssembleFigSeries(scale, ttl, rs)
+			if err != nil {
+				return nil, err
+			}
+			var out []*metrics.Table
+			if hits != "" {
+				out = append(out, f.HitsTable(hits))
+			}
+			if msgs != "" {
+				out = append(out, f.MsgsTable(msgs))
+			}
+			return out, nil
+		}
+	}
+	variantTables := func(title string) func(rs []runner.Result) ([]*metrics.Table, error) {
+		return func(rs []runner.Result) ([]*metrics.Table, error) {
+			rows, err := AssembleVariants(rs)
+			if err != nil {
+				return nil, err
+			}
+			return []*metrics.Table{VariantTable(title, rows)}, nil
+		}
+	}
+	return []Definition{
+		{
+			Name:  "fig1",
+			Cells: FigHourlyCells("fig1", scale, 2, seed),
+			Tables: figTables(2,
+				"Figure 1(a): queries satisfied per hour (hops=2)",
+				"Figure 1(b): query overhead per hour (hops=2)"),
+		},
+		{
+			Name:  "fig2",
+			Cells: FigHourlyCells("fig2", scale, 4, seed),
+			Tables: figTables(4,
+				"Figure 2(a): queries satisfied per hour (hops=4)",
+				"Figure 2(b): query overhead per hour (hops=4)"),
+		},
+		{
+			Name:  "fig3a",
+			Cells: Fig3aCells("fig3a", scale, seed),
+			Tables: func(rs []runner.Result) ([]*metrics.Table, error) {
+				rows, err := AssembleFig3a(rs)
+				if err != nil {
+					return nil, err
+				}
+				return []*metrics.Table{Fig3aTable(rows)}, nil
+			},
+		},
+		{
+			Name:  "fig3b",
+			Cells: Fig3bCells("fig3b", scale, seed),
+			Tables: func(rs []runner.Result) ([]*metrics.Table, error) {
+				rows, err := AssembleFig3b(rs)
+				if err != nil {
+					return nil, err
+				}
+				return []*metrics.Table{Fig3bTable(rows)}, nil
+			},
+		},
+		{
+			Name:   "directed",
+			Cells:  DirectedBFTCells("directed", scale, seed),
+			Tables: variantTables("Ablation: Directed BFT vs flooding (dynamic, hops=3)"),
+		},
+		{
+			Name:   "iterdeep",
+			Cells:  IterDeepeningCells("iterdeep", scale, seed),
+			Tables: variantTables("Ablation: iterative deepening (dynamic, max depth 3)"),
+		},
+		{
+			Name:   "localindex",
+			Cells:  LocalIndicesCells("localindex", scale, seed),
+			Tables: variantTables("Ablation: local indices r=1 (technique iii of [10], hops=2)"),
+		},
+		{
+			Name:   "asym",
+			Cells:  AsymmetricUpdateCells("asym", scale, seed),
+			Tables: variantTables("Ablation: symmetric (Algo 4) vs asymmetric (Algo 3) updates (hops=2)"),
+		},
+		{
+			Name:   "benefit",
+			Cells:  BenefitFunctionsCells("benefit", scale, seed),
+			Tables: variantTables("Ablation: benefit-function sensitivity (dynamic, hops=2)"),
+		},
+		{
+			Name:  "drift",
+			Cells: DriftCells("drift", scale, seed),
+			Tables: func(rs []runner.Result) ([]*metrics.Table, error) {
+				rows, err := AssembleDrift(scale, seed, rs)
+				if err != nil {
+					return nil, err
+				}
+				return []*metrics.Table{DriftTable(rows)}, nil
+			},
+		},
+		{
+			Name:  "webcache",
+			Cells: WebCacheCells("webcache", scale, seed),
+			Tables: func(rs []runner.Result) ([]*metrics.Table, error) {
+				rows, err := AssembleWebCache(rs)
+				if err != nil {
+					return nil, err
+				}
+				return []*metrics.Table{WebCacheTable(rows)}, nil
+			},
+		},
+		{
+			Name:  "peerolap",
+			Cells: PeerOlapCells("peerolap", scale, seed),
+			Tables: func(rs []runner.Result) ([]*metrics.Table, error) {
+				rows, err := AssemblePeerOlap(rs)
+				if err != nil {
+					return nil, err
+				}
+				return []*metrics.Table{PeerOlapTable(rows)}, nil
+			},
+		},
+	}
+}
+
+// aliases maps single-table shortcuts to (canonical experiment, which
+// table to keep): fig1a is the hits half of fig1, fig1b the overhead
+// half, and so on.
+var aliases = map[string]struct {
+	canonical string
+	table     int
+}{
+	"fig1a": {"fig1", 0},
+	"fig1b": {"fig1", 1},
+	"fig2a": {"fig2", 0},
+	"fig2b": {"fig2", 1},
+}
+
+// Names returns the canonical experiment names in presentation order.
+func Names() []string {
+	defs := Registry(CI, 1)
+	names := make([]string, len(defs))
+	for i, d := range defs {
+		names[i] = d.Name
+	}
+	return names
+}
+
+// Find resolves an experiment name (canonical or alias) to a
+// definition at the given scale and seed.
+func Find(name string, scale Scale, seed uint64) (Definition, error) {
+	target, tableIdx := name, -1
+	if a, ok := aliases[name]; ok {
+		target, tableIdx = a.canonical, a.table
+	}
+	for _, d := range Registry(scale, seed) {
+		if d.Name != target {
+			continue
+		}
+		if tableIdx < 0 {
+			return d, nil
+		}
+		inner := d.Tables
+		idx := tableIdx
+		d.Name = name
+		d.Tables = func(rs []runner.Result) ([]*metrics.Table, error) {
+			tables, err := inner(rs)
+			if err != nil {
+				return nil, err
+			}
+			if idx >= len(tables) {
+				return nil, fmt.Errorf("experiments: alias %q wants table %d of %d", name, idx, len(tables))
+			}
+			return tables[idx : idx+1], nil
+		}
+		return d, nil
+	}
+	return Definition{}, fmt.Errorf("experiments: unknown experiment %q (want one of %s, or %s)",
+		name, strings.Join(Names(), " "), "fig1a fig1b fig2a fig2b")
+}

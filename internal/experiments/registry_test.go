@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestRegistryWellFormed(t *testing.T) {
+	defs := Registry(CI, 1)
+	if len(defs) != 12 {
+		t.Fatalf("registry has %d definitions", len(defs))
+	}
+	seenDef := map[string]bool{}
+	for _, d := range defs {
+		if seenDef[d.Name] {
+			t.Fatalf("duplicate definition %q", d.Name)
+		}
+		seenDef[d.Name] = true
+		if len(d.Cells) == 0 {
+			t.Fatalf("definition %q has no cells", d.Name)
+		}
+		if d.Tables == nil {
+			t.Fatalf("definition %q has no renderer", d.Name)
+		}
+		seenCell := map[string]bool{}
+		for _, c := range d.Cells {
+			if c.Experiment != d.Name {
+				t.Fatalf("definition %q owns cell tagged %q", d.Name, c.Experiment)
+			}
+			if seenCell[c.Name] {
+				t.Fatalf("definition %q has duplicate cell %q", d.Name, c.Name)
+			}
+			seenCell[c.Name] = true
+			if c.Run == nil {
+				t.Fatalf("cell %s/%s has no body", d.Name, c.Name)
+			}
+			// All cells of one experiment share the experiment seed so
+			// variant comparisons are paired.
+			if c.Seed != 1 {
+				t.Fatalf("cell %s/%s has seed %d, want the experiment seed", d.Name, c.Name, c.Seed)
+			}
+		}
+	}
+}
+
+func TestFindResolvesAliases(t *testing.T) {
+	for _, name := range []string{"fig1a", "fig1b", "fig2a", "fig2b"} {
+		d, err := Find(name, CI, 1)
+		if err != nil {
+			t.Fatalf("Find(%q): %v", name, err)
+		}
+		if d.Name != name || len(d.Cells) != 2 {
+			t.Fatalf("Find(%q) = %q with %d cells", name, d.Name, len(d.Cells))
+		}
+	}
+	if _, err := Find("fig1", CI, 1); err != nil {
+		t.Fatalf("Find(fig1): %v", err)
+	}
+	if _, err := Find("bogus", CI, 1); err == nil {
+		t.Fatal("bogus experiment accepted")
+	}
+}
+
+func TestAssembleRejectsWrongShape(t *testing.T) {
+	d, err := Find("fig3a", CI, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Tables(nil); err == nil {
+		t.Fatal("empty result slice accepted")
+	}
+}

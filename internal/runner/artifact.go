@@ -1,0 +1,115 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// This file emits the JSON artifacts of one runner invocation:
+//
+//	<root>/<name>/cells.json    — []Result, deterministic: byte-identical
+//	                              for identical cells at any worker count
+//	<root>/<name>/summary.json  — RunInfo: run metadata plus per-experiment
+//	                              aggregates (wall times, failures)
+//
+// cells.json is the comparable trajectory artifact (diff it across
+// PRs); summary.json carries the measurement context.
+
+// RunInfo is the metadata block of summary.json. Callers fill the
+// identity fields; WriteArtifacts fills the aggregates.
+type RunInfo struct {
+	// Name is the run name (also the artifact directory name).
+	Name string `json:"name"`
+	// Labels carries free-form context (scale, command line, ...).
+	Labels map[string]string `json:"labels,omitempty"`
+	// BaseSeed and Workers record how the run was invoked.
+	BaseSeed uint64 `json:"base_seed"`
+	Workers  int    `json:"workers"`
+	// WallSeconds is the whole run's wall-clock time.
+	WallSeconds float64 `json:"wall_seconds"`
+	// Cells and Failed count all cells and the failed subset.
+	Cells  int `json:"cells"`
+	Failed int `json:"failed"`
+	// Experiments aggregates per experiment, in first-appearance order.
+	Experiments []ExperimentSummary `json:"experiments"`
+}
+
+// ExperimentSummary aggregates the cells of one experiment.
+type ExperimentSummary struct {
+	Experiment string `json:"experiment"`
+	Cells      int    `json:"cells"`
+	Failed     int    `json:"failed"`
+	// WallSeconds sums the cell execution times (CPU-side cost; the
+	// run's elapsed time is in RunInfo.WallSeconds).
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// Summarize aggregates results per experiment in first-appearance
+// order.
+func Summarize(results []Result) []ExperimentSummary {
+	index := map[string]int{}
+	var out []ExperimentSummary
+	for _, r := range results {
+		i, ok := index[r.Experiment]
+		if !ok {
+			i = len(out)
+			index[r.Experiment] = i
+			out = append(out, ExperimentSummary{Experiment: r.Experiment})
+		}
+		out[i].Cells++
+		if r.Err != "" {
+			out[i].Failed++
+		}
+		out[i].WallSeconds += r.Wall.Seconds()
+	}
+	return out
+}
+
+// WriteArtifacts writes cells.json and summary.json under
+// <root>/<info.Name>/ and returns the directory. The aggregate fields
+// of info (Cells, Failed, Experiments) are computed here. Nested run
+// names ("sweep/theta4") are allowed, but the directory must stay
+// inside root.
+func WriteArtifacts(root string, info RunInfo, results []Result) (string, error) {
+	if info.Name == "" {
+		return "", fmt.Errorf("runner: empty run name")
+	}
+	sep := string(filepath.Separator)
+	if cleaned := filepath.Clean(info.Name); filepath.IsAbs(cleaned) ||
+		cleaned == ".." || strings.HasPrefix(cleaned, ".."+sep) {
+		return "", fmt.Errorf("runner: run name %q escapes the artifact root", info.Name)
+	}
+	dir := filepath.Join(root, info.Name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	info.Cells = len(results)
+	info.Failed = Failed(results)
+	info.Experiments = Summarize(results)
+
+	if err := writeJSON(filepath.Join(dir, "cells.json"), results); err != nil {
+		return "", err
+	}
+	if err := writeJSON(filepath.Join(dir, "summary.json"), info); err != nil {
+		return "", err
+	}
+	return dir, nil
+}
+
+// writeJSON marshals v indented and writes it atomically enough for an
+// artifact directory (temp file + rename).
+func writeJSON(path string, v any) error {
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runner: marshal %s: %w", filepath.Base(path), err)
+	}
+	data = append(data, '\n')
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
