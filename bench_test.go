@@ -149,6 +149,25 @@ func BenchmarkDrift(b *testing.B) {
 	}
 }
 
+// BenchmarkCascade100k drives the scale family's largest cell: 2,000
+// queries over a 100k-node client/provider/bystander network through
+// one pooled core.Scratch. The custom metrics isolate the query loop
+// (the network build is inside the op, so allocs/op includes setup;
+// allocs-per-query is the hot-path number).
+func BenchmarkCascade100k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultScaleConfig(100_000, 2_000, uint64(i+1))
+		sum, sample, err := experiments.RunScale(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(sample.Events)/sample.WallSeconds, "events/sec")
+		b.ReportMetric(float64(sample.Allocs)/float64(sample.Queries), "allocs/query")
+		b.ReportMetric(sum.MsgsPerQuery, "msgs/query")
+		b.ReportMetric(sum.HitRate, "hit-rate")
+	}
+}
+
 // BenchmarkRunnerWorkers shards the Figure 3(a) cell set (eight
 // independent simulations) across worker pools of increasing size —
 // the scaling curve of the experiment-orchestration layer itself.

@@ -1,0 +1,87 @@
+// Command perfcheck turns `go test -bench` output into a BENCH_*.json
+// artifact and gates CI on allocation regressions.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem -benchtime=1x . | \
+//	    go run ./cmd/perfcheck -out BENCH_ci.json -baseline BENCH_baseline.json
+//
+//	go run ./cmd/perfcheck -in bench.out -out BENCH_ci.json            # parse only
+//	go run ./cmd/perfcheck -in bench.out -baseline BENCH_baseline.json # gate only
+//
+// The gate fails (exit 1) when any baseline benchmark worsens its
+// allocs/op by more than -max-ratio (default 2), disappears, or drops
+// the metric. Wall-clock metrics (ns/op) are reported but never gated:
+// CI machines are too noisy for time thresholds, while allocation
+// counts are schedule-independent and stable.
+//
+// To refresh the baseline after an intentional change, run with
+// -out BENCH_baseline.json and commit the file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/perf"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "bench output file (default stdin)")
+		out      = flag.String("out", "", "write parsed BENCH json here")
+		baseline = flag.String("baseline", "", "checked-in baseline BENCH json to gate against")
+		maxRatio = flag.Float64("max-ratio", 2, "fail when current allocs/op exceeds baseline*ratio")
+		metric   = flag.String("metric", "allocs/op", "comma-free metric name to gate on")
+	)
+	flag.Parse()
+
+	var src io.Reader = os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	rep, err := perf.ParseBench(src)
+	if err != nil {
+		fatal(err)
+	}
+	if len(rep.Entries) == 0 {
+		fatal(fmt.Errorf("perfcheck: no benchmark results in input"))
+	}
+	fmt.Fprintf(os.Stderr, "perfcheck: parsed %d benchmark entries\n", len(rep.Entries))
+
+	if *out != "" {
+		if err := rep.Write(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "perfcheck: wrote %s\n", *out)
+	}
+
+	if *baseline != "" {
+		base, err := perf.Read(*baseline)
+		if err != nil {
+			fatal(err)
+		}
+		regs := perf.Compare(base, rep, *maxRatio, *metric)
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "perfcheck: %d %s regression(s) beyond %.1fx:\n", len(regs), *metric, *maxRatio)
+			for _, g := range regs {
+				fmt.Fprintf(os.Stderr, "  %s\n", g)
+			}
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "perfcheck: %s within %.1fx of baseline for all %d entries\n",
+			*metric, *maxRatio, len(base.Entries))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -6,15 +6,18 @@
 //	repro -only fig1,fig3b -json [-out runs]
 //
 // Experiments: fig1 fig2 fig3a fig3b all (plus the single-table
-// aliases fig1a fig1b fig2a fig2b) and the ablations: directed
-// iterdeep localindex asym benefit drift webcache peerolap.
+// aliases fig1a fig1b fig2a fig2b), the ablations: directed iterdeep
+// localindex asym benefit drift webcache peerolap, and the engine
+// stress family: scale (1k/10k/100k-node cascade sweeps).
 //
 // All selected experiments decompose into independent simulation cells
 // that shard across one bounded worker pool (internal/runner). Results
 // are bit-for-bit identical at any -workers value. With -json, the
 // per-cell outputs land in <out>/<name>/cells.json (deterministic —
 // diff it across commits) and <out>/<name>/summary.json (timing and
-// failure metadata).
+// failure metadata); experiments with wall-clock side measurements
+// (scale) additionally write <out>/<name>/BENCH_<exp>.json
+// (machine-dependent — never diffed, tracked as the perf trajectory).
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -32,7 +36,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1a fig1b fig2a fig2b fig3a fig3b all directed iterdeep localindex asym benefit drift webcache peerolap")
+		exp      = flag.String("exp", "all", "experiment: fig1a fig1b fig2a fig2b fig3a fig3b all directed iterdeep localindex asym benefit drift webcache peerolap scale")
 		only     = flag.String("only", "", "comma-separated experiment subset (overrides -exp)")
 		scale    = flag.String("scale", "ci", "scale: full (paper, minutes) or ci (reduced, seconds)")
 		seed     = flag.Uint64("seed", 1, "experiment seed")
@@ -64,6 +68,10 @@ func main() {
 	type job struct {
 		def      experiments.Definition
 		off, len int
+		// owns marks the job whose Definition contributed the cells
+		// (duplicated selections alias it). Only the owning job's Run
+		// closures execute, so only its Perf collector holds samples.
+		owns bool
 	}
 	var (
 		cells   []runner.Cell
@@ -78,7 +86,7 @@ func main() {
 			offsets[canonical] = off
 			cells = append(cells, d.Cells...)
 		}
-		jobs = append(jobs, job{def: d, off: off, len: len(d.Cells)})
+		jobs = append(jobs, job{def: d, off: off, len: len(d.Cells), owns: !seen})
 	}
 
 	opts := runner.Options{Workers: *workers, Retries: 1}
@@ -113,6 +121,28 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "artifacts: %s\n", dir)
+
+		// Wall-clock side measurements (BENCH_<exp>.json) ride along
+		// with the deterministic artifacts but are never diffed. An
+		// interrupted run skips them (its cells never finished); the
+		// deterministic artifacts above are always written.
+		for _, j := range jobs {
+			if j.def.Perf == nil || !j.owns || runErr != nil {
+				continue
+			}
+			rep, err := j.def.Perf(results[j.off : j.off+j.len])
+			if err == nil {
+				benchPath := filepath.Join(dir, "BENCH_"+j.def.Name+".json")
+				err = rep.Write(benchPath)
+				if err == nil {
+					fmt.Fprintf(os.Stderr, "bench: %s\n", benchPath)
+				}
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "repro: %s perf: %v\n", j.def.Name, err)
+				os.Exit(1)
+			}
+		}
 	}
 
 	if runErr != nil {

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 
-	"repro/internal/eventq"
 	"repro/internal/stats"
 	"repro/internal/topology"
 )
@@ -19,6 +18,10 @@ import (
 // per-hop delays are sampled and accumulated analytically, which is
 // exact as long as node state does not change during the (seconds-long)
 // life of one query — see DESIGN.md, substitution table.
+//
+// All per-query state (visited set, reverse routes, frontier heap,
+// result buffers) lives in a Scratch of epoch-stamped flat slices; see
+// RunScratch for the pooled, allocation-free hot path.
 type Cascade struct {
 	// Graph supplies outgoing neighbors and liveness. Required.
 	Graph Graph
@@ -44,29 +47,36 @@ type Cascade struct {
 	OnReplyHop func(from, to topology.NodeID)
 }
 
-// arrival is one in-flight copy of the query.
-type arrival struct {
-	node topology.NodeID
-	from topology.NodeID // forwarding neighbor (reverse-route next hop)
-	hops int
-}
-
-// visitState records the reverse route for replies.
-type visitState struct {
-	parent       topology.NodeID
-	forwardDelay float64
-	hops         int
-}
-
 // Run executes the search for query q and returns its outcome. It
 // panics on an invalid query or an incomplete cascade configuration;
 // both are programming errors, not runtime conditions.
+//
+// Run allocates fresh state per call and the caller owns the returned
+// outcome indefinitely. Hot loops that issue many queries should hold a
+// Scratch and call RunScratch instead.
 func (c *Cascade) Run(q *Query) *Outcome {
+	return c.RunScratch(q, nil)
+}
+
+// RunScratch is Run over caller-pooled working memory: the visited set,
+// frontier heap and result buffer all come from s and are reused across
+// cascades, so a steady-state query costs zero heap allocations beyond
+// the Outcome header. The returned outcome (its Results slice) aliases
+// s and is valid until the next RunScratch/ExploreScratch call with the
+// same Scratch. A nil s runs with fresh state, exactly like Run.
+//
+// For identical inputs, RunScratch returns identical outcomes whether s
+// is nil, fresh, or arbitrarily reused — pooling is invisible to the
+// search semantics (asserted by TestScratchReuseByteIdentical).
+func (c *Cascade) RunScratch(q *Query, s *Scratch) *Outcome {
 	if err := q.Validate(); err != nil {
 		panic(err)
 	}
 	if c.Graph == nil || c.Content == nil || c.Forward == nil {
 		panic("core: Cascade requires Graph, Content and Forward")
+	}
+	if s == nil {
+		s = NewScratch(0)
 	}
 	delay := c.Delay
 	if delay == nil {
@@ -77,27 +87,35 @@ func (c *Cascade) Run(q *Query) *Outcome {
 		ledger = c.Ledger
 	}
 
-	out := &Outcome{}
-	visited := map[topology.NodeID]*visitState{q.Origin: {parent: topology.None}}
-	pq := eventq.New()
-	var indexedHolders map[topology.NodeID]bool
-	if c.Index != nil {
-		indexedHolders = make(map[topology.NodeID]bool)
-	}
+	s.begin()
+	out := &Outcome{Results: s.results[:0]}
+	defer func() {
+		// Keep the (possibly grown) buffer for the next cascade, and
+		// normalize an empty result list to nil so pooled and fresh
+		// runs marshal identically.
+		s.results = out.Results[:0]
+		if len(out.Results) == 0 {
+			out.Results = nil
+		}
+	}()
 
-	send := func(from, to topology.NodeID, t float64, hops int) {
+	origin := s.slot(q.Origin)
+	origin.epoch = s.epoch
+	origin.parent = topology.None
+
+	send := func(from, to topology.NodeID, t float64, hops int32) {
 		out.Messages++
 		if c.OnMessage != nil {
 			c.OnMessage(from, to)
 		}
-		pq.Push(t+delay(from, to), arrival{node: to, from: from, hops: hops})
+		s.heap.push(t+delay(from, to), to, from, hops)
 	}
 
 	// With a local index the origin answers from its own index first —
 	// a zero-message lookup over its Radius()-hop neighborhood.
 	originHit := false
 	if c.Index != nil {
-		originHit = c.indexResults(q, out, indexedHolders, q.Origin, 0, 0, 0, delay)
+		originHit = c.indexResults(q, out, s, q.Origin, 0, 0, 0, delay)
 	}
 
 	// The origin forwards to its selected neighbors at t = 0
@@ -105,14 +123,15 @@ func (c *Cascade) Run(q *Query) *Outcome {
 	// hops, so TTL = 0 means no propagation at all.
 	if q.TTL >= 1 && !(originHit && !q.ForwardWhenHit) &&
 		!(q.MaxResults > 0 && len(out.Results) >= q.MaxResults) {
-		for _, n := range c.Forward.Select(q, q.Origin, topology.None, c.Graph.Out(q.Origin), ledger(q.Origin)) {
+		s.fwd = c.Forward.Select(q, q.Origin, topology.None, c.Graph.Out(q.Origin), ledger(q.Origin), s.fwd[:0])
+		for _, n := range s.fwd {
 			send(q.Origin, n, 0, 1)
 		}
 	}
 
 	for {
-		item := pq.Pop()
-		if item == nil {
+		a, ok := s.heap.pop()
+		if !ok {
 			break
 		}
 		if q.MaxResults > 0 && len(out.Results) >= q.MaxResults {
@@ -120,20 +139,22 @@ func (c *Cascade) Run(q *Query) *Outcome {
 			// abandoned (they were already counted as messages).
 			break
 		}
-		now := item.Time
-		a := item.Value.(arrival)
-		if _, dup := visited[a.node]; dup {
+		now := a.time
+		if s.visited(a.node) {
 			continue // Process_Query: "if the same message has been received before, return"
 		}
 		if !c.Graph.Online(a.node) {
 			continue // message reached a node that just went off-line
 		}
-		st := &visitState{parent: a.from, forwardDelay: now, hops: a.hops}
-		visited[a.node] = st
+		st := s.slot(a.node)
+		st.epoch = s.epoch
+		st.parent = a.from
+		st.forwardDelay = now
+		st.hops = a.hops
 		out.Visited++
 
 		hit := c.Content.HasContent(a.node, q.Key)
-		if hit && indexedHolders != nil && indexedHolders[a.node] {
+		if hit && c.Index != nil && s.visits[a.node].idxEpoch == s.epoch {
 			hit = false // already answered on this node's behalf upstream
 		}
 		if hit || c.Index != nil {
@@ -142,24 +163,25 @@ func (c *Cascade) Run(q *Query) *Outcome {
 			replyDelay := 0.0
 			node := a.node
 			for node != q.Origin {
-				s := visited[node]
-				replyDelay += delay(node, s.parent)
-				node = s.parent
+				parent := s.visits[node].parent
+				replyDelay += delay(node, parent)
+				node = parent
 			}
 			if hit {
 				node = a.node
 				for node != q.Origin {
 					out.ReplyMessages++
+					parent := s.visits[node].parent
 					if c.OnReplyHop != nil {
-						c.OnReplyHop(node, visited[node].parent)
+						c.OnReplyHop(node, parent)
 					}
-					node = visited[node].parent
+					node = parent
 				}
-				if indexedHolders != nil {
-					indexedHolders[a.node] = true
+				if c.Index != nil {
+					s.visits[a.node].idxEpoch = s.epoch
 				}
 				total := now + replyDelay
-				out.Results = append(out.Results, Result{Holder: a.node, Hops: a.hops, Delay: total})
+				out.Results = append(out.Results, Result{Holder: a.node, Hops: int(a.hops), Delay: total})
 				if out.FirstResultDelay == 0 || total < out.FirstResultDelay {
 					out.FirstResultDelay = total
 				}
@@ -167,7 +189,7 @@ func (c *Cascade) Run(q *Query) *Outcome {
 			// Answer for indexed peers beyond this node.
 			if c.Index != nil &&
 				!(q.MaxResults > 0 && len(out.Results) >= q.MaxResults) {
-				if c.indexResults(q, out, indexedHolders, a.node, a.hops, now, replyDelay, delay) {
+				if c.indexResults(q, out, s, a.node, int(a.hops), now, replyDelay, delay) {
 					hit = true
 				}
 			}
@@ -175,10 +197,11 @@ func (c *Cascade) Run(q *Query) *Outcome {
 
 		// Propagation: a serving node stops unless ForwardWhenHit; TTL
 		// bounds the hop count.
-		if (hit && !q.ForwardWhenHit) || a.hops >= q.TTL {
+		if (hit && !q.ForwardWhenHit) || int(a.hops) >= q.TTL {
 			continue
 		}
-		for _, n := range c.Forward.Select(q, a.node, a.from, c.Graph.Out(a.node), ledger(a.node)) {
+		s.fwd = c.Forward.Select(q, a.node, a.from, c.Graph.Out(a.node), ledger(a.node), s.fwd[:0])
+		for _, n := range s.fwd {
 			send(a.node, n, now, a.hops+1)
 		}
 	}
@@ -207,6 +230,14 @@ type IterativeDeepening struct {
 // Run executes the deepening schedule for q over cascade c. The TTL in
 // q is ignored; Depths governs.
 func (d IterativeDeepening) Run(c *Cascade, q *Query) *Outcome {
+	return d.RunScratch(c, q, nil)
+}
+
+// RunScratch is Run over caller-pooled working memory; see
+// Cascade.RunScratch for the aliasing contract. Only the satisfied
+// (final) iteration's results are retained, so intermediate cascades
+// reusing s never clobber returned data.
+func (d IterativeDeepening) RunScratch(c *Cascade, q *Query, s *Scratch) *Outcome {
 	if len(d.Depths) == 0 {
 		panic("core: IterativeDeepening needs at least one depth")
 	}
@@ -220,7 +251,7 @@ func (d IterativeDeepening) Run(c *Cascade, q *Query) *Outcome {
 		prev = depth
 		qq := *q
 		qq.TTL = depth
-		o := c.Run(&qq)
+		o := c.RunScratch(&qq, s)
 		total.Messages += o.Messages
 		total.ReplyMessages += o.ReplyMessages
 		if o.Visited > total.Visited {

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"repro/internal/eventq"
 	"repro/internal/stats"
 	"repro/internal/topology"
 )
@@ -67,13 +66,25 @@ func (o *ExploreOutcome) Holders(key Key) []topology.NodeID {
 // Explore runs one exploration round over the cascade's topology view.
 // The cascade's Forward policy selects propagation targets exactly as
 // in search; OnMessage metering is the caller's (exploration traffic is
-// usually metered as netsim.MsgExplore).
+// usually metered as netsim.MsgExplore). The caller owns the returned
+// outcome; hot loops should use ExploreScratch.
 func (c *Cascade) Explore(x *Exploration) *ExploreOutcome {
+	return c.ExploreScratch(x, nil)
+}
+
+// ExploreScratch is Explore over caller-pooled working memory. The
+// returned outcome (its Findings and their Held slices) aliases s and
+// is valid until the next RunScratch/ExploreScratch call with the same
+// Scratch. A nil s runs with fresh state, exactly like Explore.
+func (c *Cascade) ExploreScratch(x *Exploration, s *Scratch) *ExploreOutcome {
 	if c.Graph == nil || c.Content == nil || c.Forward == nil {
 		panic("core: Cascade requires Graph, Content and Forward")
 	}
 	if x.TTL < 0 {
 		panic("core: negative exploration TTL")
+	}
+	if s == nil {
+		s = NewScratch(0)
 	}
 	delay := c.Delay
 	if delay == nil {
@@ -87,68 +98,94 @@ func (c *Cascade) Explore(x *Exploration) *ExploreOutcome {
 	// query carries no key semantics (policies only inspect Origin).
 	pseudo := &Query{Origin: x.Origin, TTL: x.TTL}
 
-	out := &ExploreOutcome{}
-	visited := map[topology.NodeID]*visitState{x.Origin: {parent: topology.None}}
-	pq := eventq.New()
+	s.begin()
+	out := &ExploreOutcome{Findings: s.findings[:0]}
+	held := s.heldBuf[:0]
+	defer func() {
+		// As in RunScratch: retain buffers, normalize empty to nil.
+		s.findings = out.Findings[:0]
+		s.heldBuf = held[:0]
+		if len(out.Findings) == 0 {
+			out.Findings = nil
+		}
+	}()
 
-	send := func(from, to topology.NodeID, t float64, hops int) {
+	origin := s.slot(x.Origin)
+	origin.epoch = s.epoch
+	origin.parent = topology.None
+
+	send := func(from, to topology.NodeID, t float64, hops int32) {
 		out.Messages++
 		if c.OnMessage != nil {
 			c.OnMessage(from, to)
 		}
-		pq.Push(t+delay(from, to), arrival{node: to, from: from, hops: hops})
+		s.heap.push(t+delay(from, to), to, from, hops)
 	}
 
 	if x.TTL >= 1 {
-		for _, n := range c.Forward.Select(pseudo, x.Origin, topology.None, c.Graph.Out(x.Origin), ledger(x.Origin)) {
+		s.fwd = c.Forward.Select(pseudo, x.Origin, topology.None, c.Graph.Out(x.Origin), ledger(x.Origin), s.fwd[:0])
+		for _, n := range s.fwd {
 			send(x.Origin, n, 0, 1)
 		}
 	}
 
 	for {
-		item := pq.Pop()
-		if item == nil {
+		a, ok := s.heap.pop()
+		if !ok {
 			break
 		}
-		now := item.Time
-		a := item.Value.(arrival)
-		if _, dup := visited[a.node]; dup {
+		now := a.time
+		if s.visited(a.node) {
 			continue
 		}
 		if !c.Graph.Online(a.node) {
 			continue
 		}
-		visited[a.node] = &visitState{parent: a.from, forwardDelay: now, hops: a.hops}
+		st := s.slot(a.node)
+		st.epoch = s.epoch
+		st.parent = a.from
+		st.forwardDelay = now
+		st.hops = a.hops
 
-		var held []Key
+		// Collect the held subset into the pooled backing; each finding
+		// keeps its own sub-slice (growth reallocates the backing, which
+		// leaves earlier findings pointing at the old array — still
+		// valid, just no longer contiguous with later ones).
+		start := len(held)
 		for _, k := range x.Keys {
 			if c.Content.HasContent(a.node, k) {
 				held = append(held, k)
 			}
 		}
+		var heldView []Key
+		if len(held) > start {
+			heldView = held[start:len(held):len(held)]
+		}
+
 		// The report travels the reverse route regardless of outcome.
 		replyDelay := 0.0
 		node := a.node
 		for node != x.Origin {
-			s := visited[node]
-			replyDelay += delay(node, s.parent)
+			parent := s.visits[node].parent
+			replyDelay += delay(node, parent)
 			out.ReplyMessages++
 			if c.OnReplyHop != nil {
-				c.OnReplyHop(node, s.parent)
+				c.OnReplyHop(node, parent)
 			}
-			node = s.parent
+			node = parent
 		}
 		out.Findings = append(out.Findings, Finding{
 			Node:  a.node,
-			Held:  held,
-			Hops:  a.hops,
+			Held:  heldView,
+			Hops:  int(a.hops),
 			Delay: now + replyDelay,
 		})
 
-		if a.hops >= x.TTL {
+		if int(a.hops) >= x.TTL {
 			continue
 		}
-		for _, n := range c.Forward.Select(pseudo, a.node, a.from, c.Graph.Out(a.node), ledger(a.node)) {
+		s.fwd = c.Forward.Select(pseudo, a.node, a.from, c.Graph.Out(a.node), ledger(a.node), s.fwd[:0])
+		for _, n := range s.fwd {
 			send(a.node, n, now, a.hops+1)
 		}
 	}

@@ -17,8 +17,13 @@ type ForwardPolicy interface {
 	// Select returns the subset of out to forward query q to. at is the
 	// forwarding node, from is the node the query arrived from (the
 	// origin passes topology.None), led is the forwarding node's
-	// statistics ledger (may be nil for stateless policies).
-	Select(q *Query, at, from topology.NodeID, out []topology.NodeID, led *stats.Ledger) []topology.NodeID
+	// statistics ledger (may be nil for stateless policies). dst is a
+	// zero-length scratch buffer the policy should build its result in
+	// (append semantics) so hot callers amortize the allocation; it may
+	// be nil, and implementations may still return freshly allocated
+	// memory. Callers must treat the returned slice as invalidated by
+	// the next Select call that is handed the same buffer.
+	Select(q *Query, at, from topology.NodeID, out []topology.NodeID, led *stats.Ledger, dst []topology.NodeID) []topology.NodeID
 	// Name identifies the policy in experiment output.
 	Name() string
 }
@@ -40,8 +45,8 @@ func dropFrom(dst, out []topology.NodeID, q *Query, from topology.NodeID) []topo
 type Flood struct{}
 
 // Select implements ForwardPolicy.
-func (Flood) Select(q *Query, _, from topology.NodeID, out []topology.NodeID, _ *stats.Ledger) []topology.NodeID {
-	return dropFrom(nil, out, q, from)
+func (Flood) Select(q *Query, _, from topology.NodeID, out []topology.NodeID, _ *stats.Ledger, dst []topology.NodeID) []topology.NodeID {
+	return dropFrom(dst, out, q, from)
 }
 
 // Name implements ForwardPolicy.
@@ -56,8 +61,8 @@ type RandomK struct {
 }
 
 // Select implements ForwardPolicy.
-func (p RandomK) Select(q *Query, _, from topology.NodeID, out []topology.NodeID, _ *stats.Ledger) []topology.NodeID {
-	cand := dropFrom(nil, out, q, from)
+func (p RandomK) Select(q *Query, _, from topology.NodeID, out []topology.NodeID, _ *stats.Ledger, dst []topology.NodeID) []topology.NodeID {
+	cand := dropFrom(dst, out, q, from)
 	if len(cand) <= p.K {
 		return cand
 	}
@@ -82,36 +87,35 @@ type DirectedBFT struct {
 }
 
 // Select implements ForwardPolicy.
-func (p DirectedBFT) Select(q *Query, _, from topology.NodeID, out []topology.NodeID, led *stats.Ledger) []topology.NodeID {
-	cand := dropFrom(nil, out, q, from)
+func (p DirectedBFT) Select(q *Query, _, from topology.NodeID, out []topology.NodeID, led *stats.Ledger, dst []topology.NodeID) []topology.NodeID {
+	cand := dropFrom(dst, out, q, from)
 	if len(cand) <= p.K || led == nil {
 		return cand
 	}
-	// Rank candidates by ledger benefit; unknown peers score 0.
-	type scored struct {
-		id    topology.NodeID
-		score float64
+	// Rank candidates by ledger benefit (unknown peers score 0) with an
+	// in-place insertion sort over cand and a stack-resident score
+	// array — neighbor lists are tiny (the paper caps them at 4), and
+	// the hot path must not allocate per propagation step.
+	var stack [16]float64
+	scores := stack[:0]
+	if len(cand) > len(stack) {
+		scores = make([]float64, 0, len(cand))
 	}
-	ss := make([]scored, len(cand))
-	for i, id := range cand {
+	for _, id := range cand {
 		s := 0.0
 		if r := led.Get(id); r != nil {
 			s = p.Benefit.Score(r)
 		}
-		ss[i] = scored{id, s}
+		scores = append(scores, s)
 	}
-	// Insertion sort: lists are tiny (≤ neighbor cap).
-	for i := 1; i < len(ss); i++ {
-		for j := i; j > 0 && (ss[j].score > ss[j-1].score ||
-			(ss[j].score == ss[j-1].score && ss[j].id < ss[j-1].id)); j-- {
-			ss[j], ss[j-1] = ss[j-1], ss[j]
+	for i := 1; i < len(cand); i++ {
+		for j := i; j > 0 && (scores[j] > scores[j-1] ||
+			(scores[j] == scores[j-1] && cand[j] < cand[j-1])); j-- {
+			scores[j], scores[j-1] = scores[j-1], scores[j]
+			cand[j], cand[j-1] = cand[j-1], cand[j]
 		}
 	}
-	outK := make([]topology.NodeID, p.K)
-	for i := 0; i < p.K; i++ {
-		outK[i] = ss[i].id
-	}
-	return outK
+	return cand[:p.K]
 }
 
 // Name implements ForwardPolicy.
@@ -132,15 +136,18 @@ type DigestGuided struct {
 }
 
 // Select implements ForwardPolicy.
-func (p DigestGuided) Select(q *Query, at, from topology.NodeID, out []topology.NodeID, led *stats.Ledger) []topology.NodeID {
-	var match []topology.NodeID
-	for _, n := range dropFrom(nil, out, q, from) {
+func (p DigestGuided) Select(q *Query, at, from topology.NodeID, out []topology.NodeID, led *stats.Ledger, dst []topology.NodeID) []topology.NodeID {
+	match := dst
+	for _, n := range out {
+		if n == from || n == q.Origin {
+			continue
+		}
 		if p.MayHold(n, q.Key) {
 			match = append(match, n)
 		}
 	}
-	if len(match) == 0 && p.Fallback != nil {
-		return p.Fallback.Select(q, at, from, out, led)
+	if len(match) == len(dst) && p.Fallback != nil {
+		return p.Fallback.Select(q, at, from, out, led, dst)
 	}
 	return match
 }

@@ -18,7 +18,7 @@ func ids(xs ...int) []topology.NodeID {
 
 func TestFloodSelectsAllButSenderAndOrigin(t *testing.T) {
 	q := &Query{Origin: 9}
-	got := Flood{}.Select(q, 0, 2, ids(1, 2, 3, 9), nil)
+	got := Flood{}.Select(q, 0, 2, ids(1, 2, 3, 9), nil, nil)
 	if len(got) != 2 || got[0] != 1 || got[1] != 3 {
 		t.Fatalf("Flood.Select = %v", got)
 	}
@@ -26,7 +26,7 @@ func TestFloodSelectsAllButSenderAndOrigin(t *testing.T) {
 
 func TestFloodFromNoneKeepsAll(t *testing.T) {
 	q := &Query{Origin: 0}
-	got := Flood{}.Select(q, 0, topology.None, ids(1, 2, 3), nil)
+	got := Flood{}.Select(q, 0, topology.None, ids(1, 2, 3), nil, nil)
 	if len(got) != 3 {
 		t.Fatalf("Flood.Select = %v", got)
 	}
@@ -37,7 +37,7 @@ func TestRandomKBounds(t *testing.T) {
 	p := RandomK{K: 2, Intn: s.Intn}
 	q := &Query{Origin: 99}
 	for i := 0; i < 100; i++ {
-		got := p.Select(q, 0, topology.None, ids(1, 2, 3, 4, 5), nil)
+		got := p.Select(q, 0, topology.None, ids(1, 2, 3, 4, 5), nil, nil)
 		if len(got) != 2 {
 			t.Fatalf("RandomK returned %d", len(got))
 		}
@@ -50,7 +50,7 @@ func TestRandomKBounds(t *testing.T) {
 func TestRandomKDegeneratesToFlood(t *testing.T) {
 	s := rng.New(2)
 	p := RandomK{K: 10, Intn: s.Intn}
-	got := p.Select(&Query{Origin: 99}, 0, topology.None, ids(1, 2), nil)
+	got := p.Select(&Query{Origin: 99}, 0, topology.None, ids(1, 2), nil, nil)
 	if len(got) != 2 {
 		t.Fatalf("RandomK(K>len) = %v", got)
 	}
@@ -61,7 +61,7 @@ func TestRandomKCoversAllNeighbors(t *testing.T) {
 	p := RandomK{K: 1, Intn: s.Intn}
 	seen := map[topology.NodeID]bool{}
 	for i := 0; i < 500; i++ {
-		got := p.Select(&Query{Origin: 99}, 0, topology.None, ids(1, 2, 3), nil)
+		got := p.Select(&Query{Origin: 99}, 0, topology.None, ids(1, 2, 3), nil, nil)
 		seen[got[0]] = true
 	}
 	if len(seen) != 3 {
@@ -75,7 +75,7 @@ func TestDirectedBFTTopK(t *testing.T) {
 	led.Touch(2).Benefit = 5
 	led.Touch(3).Benefit = 3
 	p := DirectedBFT{K: 2, Benefit: stats.Cumulative{}}
-	got := p.Select(&Query{Origin: 99}, 0, topology.None, ids(1, 2, 3), led)
+	got := p.Select(&Query{Origin: 99}, 0, topology.None, ids(1, 2, 3), led, nil)
 	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
 		t.Fatalf("DirectedBFT.Select = %v", got)
 	}
@@ -85,7 +85,7 @@ func TestDirectedBFTUnknownPeersScoreZero(t *testing.T) {
 	led := stats.NewLedger()
 	led.Touch(3).Benefit = 1
 	p := DirectedBFT{K: 1, Benefit: stats.Cumulative{}}
-	got := p.Select(&Query{Origin: 99}, 0, topology.None, ids(1, 2, 3), led)
+	got := p.Select(&Query{Origin: 99}, 0, topology.None, ids(1, 2, 3), led, nil)
 	if len(got) != 1 || got[0] != 3 {
 		t.Fatalf("DirectedBFT.Select = %v", got)
 	}
@@ -93,7 +93,7 @@ func TestDirectedBFTUnknownPeersScoreZero(t *testing.T) {
 
 func TestDirectedBFTNilLedgerFallsBack(t *testing.T) {
 	p := DirectedBFT{K: 1, Benefit: stats.Cumulative{}}
-	got := p.Select(&Query{Origin: 99}, 0, topology.None, ids(1, 2, 3), nil)
+	got := p.Select(&Query{Origin: 99}, 0, topology.None, ids(1, 2, 3), nil, nil)
 	if len(got) != 3 {
 		t.Fatalf("nil-ledger DirectedBFT = %v (must degrade to flood)", got)
 	}
@@ -105,7 +105,7 @@ func TestDirectedBFTTieBreaksByID(t *testing.T) {
 	led.Touch(2).Benefit = 5
 	led.Touch(3).Benefit = 5
 	p := DirectedBFT{K: 2, Benefit: stats.Cumulative{}}
-	got := p.Select(&Query{Origin: 99}, 0, topology.None, ids(3, 1, 2), led)
+	got := p.Select(&Query{Origin: 99}, 0, topology.None, ids(3, 1, 2), led, nil)
 	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
 		t.Fatalf("tie-break = %v, want [1 2]", got)
 	}
@@ -116,7 +116,7 @@ func TestDigestGuidedFiltersBySummary(t *testing.T) {
 	p := DigestGuided{
 		MayHold: func(id topology.NodeID, _ Key) bool { return may[id] },
 	}
-	got := p.Select(&Query{Origin: 99, Key: 7}, 0, topology.None, ids(1, 2, 3), nil)
+	got := p.Select(&Query{Origin: 99, Key: 7}, 0, topology.None, ids(1, 2, 3), nil, nil)
 	if len(got) != 1 || got[0] != 2 {
 		t.Fatalf("DigestGuided.Select = %v", got)
 	}
@@ -127,7 +127,7 @@ func TestDigestGuidedFallback(t *testing.T) {
 		MayHold:  func(topology.NodeID, Key) bool { return false },
 		Fallback: Flood{},
 	}
-	got := p.Select(&Query{Origin: 99, Key: 7}, 0, topology.None, ids(1, 2), nil)
+	got := p.Select(&Query{Origin: 99, Key: 7}, 0, topology.None, ids(1, 2), nil, nil)
 	if len(got) != 2 {
 		t.Fatalf("fallback not used: %v", got)
 	}
@@ -135,7 +135,7 @@ func TestDigestGuidedFallback(t *testing.T) {
 
 func TestDigestGuidedNoFallback(t *testing.T) {
 	p := DigestGuided{MayHold: func(topology.NodeID, Key) bool { return false }}
-	got := p.Select(&Query{Origin: 99, Key: 7}, 0, topology.None, ids(1, 2), nil)
+	got := p.Select(&Query{Origin: 99, Key: 7}, 0, topology.None, ids(1, 2), nil, nil)
 	if len(got) != 0 {
 		t.Fatalf("nil fallback must select none: %v", got)
 	}

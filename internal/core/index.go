@@ -34,18 +34,23 @@ func (IndexFunc) Radius() int { return 1 }
 
 // indexResults emits results for the index holders visible from node
 // `at`, deduplicating holders across the whole query (several visited
-// nodes may index the same holder). It reports whether any new result
-// was produced. replyDelay is the reverse-route delay from `at` to the
-// origin; an indexed answer costs one extra hop to reach the holder
-// beyond the indexing node, which the delay hook charges.
-func (c *Cascade) indexResults(q *Query, out *Outcome, seen map[topology.NodeID]bool,
+// nodes may index the same holder) via the scratch's epoch-stamped
+// answered set. It reports whether any new result was produced.
+// replyDelay is the reverse-route delay from `at` to the origin; an
+// indexed answer costs one extra hop to reach the holder beyond the
+// indexing node, which the delay hook charges.
+func (c *Cascade) indexResults(q *Query, out *Outcome, s *Scratch,
 	at topology.NodeID, hops int, now, replyDelay float64, delay DelayFunc) bool {
 	found := false
 	for _, h := range c.Index.Holders(at, q.Key) {
-		if h == q.Origin || seen[h] {
+		if h == q.Origin {
 			continue
 		}
-		seen[h] = true
+		slot := s.slot(h)
+		if slot.idxEpoch == s.epoch {
+			continue
+		}
+		slot.idxEpoch = s.epoch
 		found = true
 		total := now + replyDelay
 		if h != at {

@@ -1,0 +1,164 @@
+package core
+
+import "repro/internal/topology"
+
+// Scratch is the pooled working state of one cascade or exploration.
+// NodeIDs are dense 0-based indices (see topology.NodeID), so all
+// per-node query state lives in flat slices indexed by node instead of
+// maps: a visited check is one bounds check and one epoch compare, and
+// starting a new cascade is a single counter increment instead of a
+// fresh map allocation.
+//
+// A Scratch is owned by one caller (one simulation loop) and reused
+// across cascades — the simulator in internal/gnutella carries one per
+// Sim and drives hundreds of thousands of queries through it without
+// per-query allocation. It is NOT safe for concurrent use; parallelism
+// lives one level up, in internal/runner, where every cell owns its own
+// Sim and therefore its own Scratch.
+//
+// Outcomes returned by RunScratch/ExploreScratch alias the Scratch's
+// pooled buffers: they are valid until the next call with the same
+// Scratch. Run/Explore (nil scratch) keep the historical own-everything
+// semantics.
+type Scratch struct {
+	// epoch brands the slot arrays: a slot belongs to the current
+	// cascade iff slot.epoch == epoch (and analogously idxEpoch for the
+	// index-answered set). Bumping epoch invalidates every slot in O(1).
+	epoch  uint32
+	visits []visitSlot
+	heap   arrivalHeap
+
+	// Pooled result and working buffers, reused across cascades.
+	results  []Result
+	findings []Finding
+	heldBuf  []Key
+	fwd      []topology.NodeID
+}
+
+// visitSlot is the per-node state of the current cascade: the reverse
+// route for replies plus the epoch stamps that say which cascade (if
+// any) the data belongs to.
+type visitSlot struct {
+	epoch        uint32 // slot is visited in the cascade iff == Scratch.epoch
+	idxEpoch     uint32 // node was answered for via a local index iff == Scratch.epoch
+	hops         int32
+	parent       topology.NodeID
+	forwardDelay float64
+}
+
+// NewScratch returns a Scratch pre-sized for networks of n nodes.
+// Slots grow on demand, so n is a capacity hint, not a limit; pass the
+// network size to avoid growth pauses on the first cascades.
+func NewScratch(n int) *Scratch {
+	if n < 0 {
+		n = 0
+	}
+	return &Scratch{visits: make([]visitSlot, n)}
+}
+
+// begin opens a new cascade: every slot of the previous one is
+// invalidated by the epoch bump.
+func (s *Scratch) begin() {
+	s.epoch++
+	if s.epoch == 0 { // uint32 wrap after ~4e9 cascades: hard-reset stamps
+		for i := range s.visits {
+			s.visits[i] = visitSlot{}
+		}
+		s.epoch = 1
+	}
+	s.heap.reset()
+}
+
+// slot returns the state cell of id, growing the slot array as needed.
+func (s *Scratch) slot(id topology.NodeID) *visitSlot {
+	if int(id) >= len(s.visits) {
+		n := int(id) + 1
+		if n < 2*len(s.visits) {
+			n = 2 * len(s.visits)
+		}
+		grown := make([]visitSlot, n)
+		copy(grown, s.visits)
+		s.visits = grown
+	}
+	return &s.visits[id]
+}
+
+// visited reports whether id was processed in the current cascade.
+func (s *Scratch) visited(id topology.NodeID) bool {
+	return int(id) < len(s.visits) && s.visits[id].epoch == s.epoch
+}
+
+// arrival is one in-flight copy of the query.
+type arrival struct {
+	time float64
+	seq  uint64 // tiebreaker: push order, for deterministic pop order
+	node topology.NodeID
+	from topology.NodeID // forwarding neighbor (reverse-route next hop)
+	hops int32
+}
+
+// arrivalHeap is a binary min-heap of arrivals keyed on (time, seq) —
+// the same total order as internal/eventq, so cascades pop identical
+// sequences, but stored by value in one reusable backing array: pushing
+// a message costs no allocation once the heap has reached its
+// high-water capacity.
+type arrivalHeap struct {
+	items []arrival
+	seq   uint64
+}
+
+func (h *arrivalHeap) reset() {
+	h.items = h.items[:0]
+	h.seq = 0
+}
+
+func (h *arrivalHeap) push(t float64, node, from topology.NodeID, hops int32) {
+	h.items = append(h.items, arrival{time: t, seq: h.seq, node: node, from: from, hops: hops})
+	h.seq++
+	i := len(h.items) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.items[i], h.items[parent] = h.items[parent], h.items[i]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest arrival; ok is false when empty.
+func (h *arrivalHeap) pop() (a arrival, ok bool) {
+	n := len(h.items)
+	if n == 0 {
+		return arrival{}, false
+	}
+	a = h.items[0]
+	h.items[0] = h.items[n-1]
+	h.items = h.items[:n-1]
+	n--
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		smallest := left
+		if right := left + 1; right < n && h.less(right, left) {
+			smallest = right
+		}
+		if !h.less(smallest, i) {
+			break
+		}
+		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
+		i = smallest
+	}
+	return a, true
+}
+
+func (h *arrivalHeap) less(i, j int) bool {
+	a, b := &h.items[i], &h.items[j]
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}

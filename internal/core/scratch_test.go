@@ -1,0 +1,152 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/topology"
+)
+
+// The pooling contract: a Scratch reused across arbitrarily many
+// cascades must be invisible — every outcome byte-identical to what a
+// fresh allocation produces. This is what lets the simulators drive
+// hundreds of thousands of queries through one Scratch without
+// re-validating determinism anywhere else.
+
+// outcomeJSON canonicalizes an outcome for byte comparison.
+func outcomeJSON(t *testing.T, v any) string {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestScratchReuseByteIdentical runs 1000 varied cascades (mixed
+// origins, TTLs, keys, delays, result caps, local indices) through one
+// pooled Scratch and through fresh per-query state, asserting each
+// pair of outcomes marshals to identical bytes.
+func TestScratchReuseByteIdentical(t *testing.T) {
+	g, content, s := randomCase(42, 60, 4)
+	neighborIndex := IndexFunc(func(at topology.NodeID, key Key) []topology.NodeID {
+		var holders []topology.NodeID
+		for _, nb := range g.net.Out(at) {
+			if content.HasContent(nb, key) {
+				holders = append(holders, nb)
+			}
+		}
+		return holders
+	})
+	// Two delay streams that must stay in lockstep: the pooled and the
+	// fresh run each consume identical sample sequences.
+	delayA, delayB := rng.New(7), rng.New(7)
+	mkCascade := func(st *rng.Stream, withIndex bool) *Cascade {
+		c := &Cascade{
+			Graph:   g,
+			Content: content,
+			Forward: Flood{},
+			Delay: func(_, _ topology.NodeID) float64 {
+				return 0.01 + st.Float64()*0.1
+			},
+		}
+		if withIndex {
+			c.Index = neighborIndex
+		}
+		return c
+	}
+
+	pooled := NewScratch(0) // deliberately unsized: growth must be invisible too
+	for i := 0; i < 1000; i++ {
+		q := Query{
+			ID:             QueryID(i + 1),
+			Key:            Key(s.Intn(3)),
+			Origin:         topology.NodeID(s.Intn(60)),
+			TTL:            s.Intn(5) + 1,
+			MaxResults:     s.Intn(4), // 0 = unlimited
+			ForwardWhenHit: s.Bernoulli(0.5),
+		}
+		withIndex := s.Bernoulli(0.3)
+
+		qa, qb := q, q
+		a := mkCascade(delayA, withIndex).RunScratch(&qa, pooled)
+		aj := outcomeJSON(t, a)
+		b := mkCascade(delayB, withIndex).RunScratch(&qb, nil)
+		if bj := outcomeJSON(t, b); aj != bj {
+			t.Fatalf("cascade %d (%+v, index=%v): pooled and fresh outcomes differ\npooled: %s\nfresh:  %s",
+				i, q, withIndex, aj, bj)
+		}
+	}
+}
+
+// TestScratchReuseExploreByteIdentical is the exploration analogue.
+func TestScratchReuseExploreByteIdentical(t *testing.T) {
+	g, content, s := randomCase(43, 50, 4)
+	delayA, delayB := rng.New(9), rng.New(9)
+	mk := func(st *rng.Stream) *Cascade {
+		return &Cascade{
+			Graph: g, Content: content, Forward: Flood{},
+			Delay: func(_, _ topology.NodeID) float64 { return 0.01 + st.Float64()*0.1 },
+		}
+	}
+	pooled := NewScratch(50)
+	for i := 0; i < 300; i++ {
+		x := Exploration{
+			Keys:   []Key{Key(s.Intn(3)), Key(s.Intn(3))},
+			Origin: topology.NodeID(s.Intn(50)),
+			TTL:    s.Intn(4) + 1,
+		}
+		xa, xb := x, x
+		a := mk(delayA).ExploreScratch(&xa, pooled)
+		aj := outcomeJSON(t, a)
+		b := mk(delayB).ExploreScratch(&xb, nil)
+		if bj := outcomeJSON(t, b); aj != bj {
+			t.Fatalf("exploration %d (%+v): pooled and fresh outcomes differ\npooled: %s\nfresh:  %s",
+				i, x, aj, bj)
+		}
+	}
+}
+
+// TestScratchEpochWrap forces the uint32 epoch counter through its
+// wraparound and asserts the hard reset keeps outcomes identical to a
+// fresh run (a stale slot surviving the wrap would look visited).
+func TestScratchEpochWrap(t *testing.T) {
+	g, content, _ := randomCase(44, 30, 3)
+	c := &Cascade{Graph: g, Content: content, Forward: Flood{}}
+	pooled := NewScratch(30)
+	q := Query{ID: 1, Key: 1, Origin: 0, TTL: 3}
+
+	q1 := q
+	before := outcomeJSON(t, c.RunScratch(&q1, pooled))
+	pooled.epoch = ^uint32(0) // next begin() wraps to 0 and hard-resets
+	q2 := q
+	after := outcomeJSON(t, c.RunScratch(&q2, pooled))
+	if before != after {
+		t.Fatalf("epoch wrap changed the outcome\nbefore: %s\nafter:  %s", before, after)
+	}
+	if pooled.epoch != 1 {
+		t.Fatalf("epoch after wrap = %d, want 1", pooled.epoch)
+	}
+}
+
+// TestScratchSteadyStateAllocs pins the hot-path claim: once warmed, a
+// cascade through a pooled Scratch allocates only the Outcome header.
+func TestScratchSteadyStateAllocs(t *testing.T) {
+	g, content, _ := randomCase(45, 60, 4)
+	c := &Cascade{Graph: g, Content: content, Forward: Flood{}}
+	pooled := NewScratch(60)
+	// One query reused by address: the cascade never mutates it, and a
+	// per-run &Query{} would charge the measurement for the caller's
+	// own allocation.
+	q := &Query{ID: 1, Key: 1, Origin: 0, TTL: 4, ForwardWhenHit: true}
+	for i := 0; i < 10; i++ { // warm the buffers to their high-water marks
+		c.RunScratch(q, pooled)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		c.RunScratch(q, pooled)
+	})
+	if avg > 1.5 {
+		t.Fatalf("steady-state cascade allocates %.1f times/op, want <= 1 (Outcome header)", avg)
+	}
+}

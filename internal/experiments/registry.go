@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/metrics"
+	"repro/internal/perf"
 	"repro/internal/runner"
 )
 
@@ -22,6 +23,11 @@ type Definition struct {
 	// Tables renders this definition's slice of the results (same
 	// order and length as Cells).
 	Tables func(rs []runner.Result) ([]*metrics.Table, error)
+	// Perf, when non-nil, renders the experiment's wall-clock side
+	// measurements as a BENCH_<name>.json document (see internal/perf).
+	// Only the scale family sets it; figure experiments are fully
+	// described by their deterministic cells.
+	Perf func(rs []runner.Result) (*perf.Report, error)
 }
 
 // Registry returns every canonical experiment in presentation order —
@@ -149,7 +155,38 @@ func Registry(scale Scale, seed uint64) []Definition {
 				return []*metrics.Table{PeerOlapTable(rows)}, nil
 			},
 		},
+		scaleDefinition(scale, seed),
 	}
+}
+
+// scaleDefinition wires the scale family (see scale.go) into the
+// registry: deterministic summaries render as a table; the wall-clock
+// collector renders as BENCH_scale.json.
+func scaleDefinition(scale Scale, seed uint64) Definition {
+	cells, collector := ScaleCells("scale", scale, seed)
+	return Definition{
+		Name:  "scale",
+		Cells: cells,
+		Tables: func(rs []runner.Result) ([]*metrics.Table, error) {
+			sums, err := AssembleScale(rs)
+			if err != nil {
+				return nil, err
+			}
+			return []*metrics.Table{ScaleTable(sums)}, nil
+		},
+		Perf: collector.Report,
+	}
+}
+
+// ScaleTable renders the scale sweep.
+func ScaleTable(sums []*ScaleSummary) *metrics.Table {
+	t := metrics.NewTable("Scale: cascade engine at 1k-100k nodes (clients/providers/bystanders)",
+		"nodes", "clients", "providers", "hit_rate", "msgs/query", "visited", "p50_ms", "p95_ms", "p99_ms")
+	for _, s := range sums {
+		t.AddRow(s.Nodes, s.Clients, s.Providers, s.HitRate, s.MsgsPerQuery, s.VisitedMean,
+			s.DelayP50Ms, s.DelayP95Ms, s.DelayP99Ms)
+	}
+	return t
 }
 
 // aliases maps single-table shortcuts to (canonical experiment, which

@@ -2,11 +2,13 @@ package experiments
 
 import (
 	"testing"
+
+	"repro/internal/runner"
 )
 
 func TestRegistryWellFormed(t *testing.T) {
 	defs := Registry(CI, 1)
-	if len(defs) != 12 {
+	if len(defs) != 13 {
 		t.Fatalf("registry has %d definitions", len(defs))
 	}
 	seenDef := map[string]bool{}
@@ -33,10 +35,18 @@ func TestRegistryWellFormed(t *testing.T) {
 			if c.Run == nil {
 				t.Fatalf("cell %s/%s has no body", d.Name, c.Name)
 			}
-			// All cells of one experiment share the experiment seed so
-			// variant comparisons are paired.
-			if c.Seed != 1 {
-				t.Fatalf("cell %s/%s has seed %d, want the experiment seed", d.Name, c.Name, c.Seed)
+			// Cells of paired-comparison experiments share the
+			// experiment seed so variant comparisons run identical
+			// workload streams; only the scale family (independent
+			// sizes, nothing paired) derives one stable seed per cell
+			// from its labels. Either way the seed is fixed at
+			// construction time, never at run time.
+			want := uint64(1)
+			if d.Name == "scale" {
+				want = runner.DeriveSeed(1, d.Name, c.Name)
+			}
+			if c.Seed != want {
+				t.Fatalf("cell %s/%s has seed %d, want %d", d.Name, c.Name, c.Seed, want)
 			}
 		}
 	}

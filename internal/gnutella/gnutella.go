@@ -190,6 +190,7 @@ type Sim struct {
 	trials    *core.TrialTracker
 	deepening *core.IterativeDeepening
 	cascade   *core.Cascade
+	scratch   *core.Scratch
 	met       *Metrics
 
 	churnStreams []*rng.Stream
@@ -229,6 +230,7 @@ func New(cfg Config) *Sim {
 		topoStream:   root.Split(),
 		delayStream:  root.Split(),
 		resumeQuery:  make([]func(), cfg.Music.Users),
+		scratch:      core.NewScratch(cfg.Music.Users),
 		met: &Metrics{
 			Hits:    metrics.NewSeries(3600),
 			Queries: metrics.NewSeries(3600),

@@ -195,9 +195,9 @@ func (s *Sim) runSearch(q *core.Query) *core.Outcome {
 		}
 	}
 	if s.deepening != nil {
-		return s.deepening.Run(s.cascade, q)
+		return s.deepening.RunScratch(s.cascade, q, s.scratch)
 	}
-	return s.cascade.Run(q)
+	return s.cascade.RunScratch(q, s.scratch)
 }
 
 // applyUpdate dispatches the reconfiguration to the selected regime.

@@ -154,6 +154,7 @@ type Sim struct {
 	met     *Metrics
 	benefit stats.Benefit
 	cascade *core.Cascade
+	scratch *core.Scratch
 
 	qStreams    []*rng.Stream
 	topoStream  *rng.Stream
@@ -174,6 +175,7 @@ func New(cfg Config) *Sim {
 		cfg:         cfg,
 		engine:      sim.New(),
 		network:     topology.NewNetwork(topology.PureAsymmetric, n, cfg.Neighbors, 0),
+		scratch:     core.NewScratch(n),
 		cube:        cube,
 		regions:     cube.AssignRegions(root.Split()),
 		classes:     netsim.AssignClasses(root.Split().Intn, n),
@@ -282,7 +284,7 @@ func (s *Sim) issueQuery(id topology.NodeID, now float64) {
 		s.cascade.OnMessage = func(_, _ topology.NodeID) {
 			s.met.Meter.Count(netsim.MsgQuery, now, 1)
 		}
-		outcome := s.cascade.Run(q)
+		outcome := s.cascade.RunScratch(q, s.scratch)
 		warehouse := s.costStream.BoundedNormal(s.cfg.WarehouseCostMean, s.cfg.WarehouseCostMean/4,
 			s.cfg.WarehouseCostMean/2, s.cfg.WarehouseCostMean*2)
 		if outcome.Hit() {

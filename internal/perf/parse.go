@@ -1,0 +1,58 @@
+package perf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseBench converts `go test -bench -benchmem` text output into a
+// Report. A benchmark line looks like
+//
+//	BenchmarkFig1-8   1   185114118 ns/op   3566 dynamic-hits   21403896 B/op   335142 allocs/op
+//
+// i.e. a name (with -GOMAXPROCS suffix), an iteration count, then
+// value/unit pairs. The GOMAXPROCS suffix is stripped so baselines
+// compare across machines; custom b.ReportMetric units are kept
+// verbatim. Sub-benchmarks keep their slash-separated names. Non-bench
+// lines (goos, pkg, PASS, ok ...) are ignored.
+func ParseBench(r io.Reader) (*Report, error) {
+	rep := NewReport("go-bench")
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// name, iterations, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip -GOMAXPROCS
+			}
+		}
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue // not an iteration count: not a result line
+		}
+		metrics := make(map[string]float64, (len(fields)-2)/2)
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("perf: bad value %q on line %q", fields[i], line)
+			}
+			metrics[fields[i+1]] = v
+		}
+		rep.Add(name, metrics)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}

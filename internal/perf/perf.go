@@ -1,0 +1,186 @@
+// Package perf defines the machine-readable benchmark artifact emitted
+// by this repository's performance pipeline: the BENCH_*.json files
+// that CI uploads on every run and that the repository tracks as its
+// performance trajectory across PRs.
+//
+// Two producers feed the format:
+//
+//   - the scale experiment family (internal/experiments) measures the
+//     cascade engine directly — events/sec, allocs/query, message
+//     counts, delay percentiles — and writes BENCH_scale.json next to
+//     its deterministic runs/<name>/ artifacts;
+//   - cmd/perfcheck parses `go test -bench` output into the same
+//     schema (BENCH_ci.json) and gates CI on allocs/op regressions
+//     against the checked-in baseline (BENCH_baseline.json).
+//
+// Unlike cells.json, BENCH files are NOT byte-deterministic: they carry
+// wall-clock throughput. Regression gating therefore only compares
+// schedule-independent metrics — CI gates on allocs/op (see
+// cmd/perfcheck); wall-clock metrics are recorded but never gated.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Entry is one benchmarked unit: a Go benchmark, or one cell of the
+// scale experiment.
+type Entry struct {
+	// Name identifies the unit ("BenchmarkFig1", "scale/n100000", ...).
+	Name string `json:"name"`
+	// Metrics maps metric name to value. Conventional keys: "ns/op",
+	// "B/op", "allocs/op", "events/sec", "allocs/query", "msgs/query",
+	// "delay_p50_ms", "delay_p95_ms", "delay_p99_ms".
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Metric returns a metric value and whether it is present.
+func (e *Entry) Metric(name string) (float64, bool) {
+	v, ok := e.Metrics[name]
+	return v, ok
+}
+
+// Report is the toplevel BENCH_*.json document.
+type Report struct {
+	// Schema versions the document layout.
+	Schema string `json:"schema"`
+	// Source says which producer wrote the file ("go-bench",
+	// "scale-experiment").
+	Source string `json:"source"`
+	// Entries is sorted by Name for stable diffs.
+	Entries []Entry `json:"entries"`
+}
+
+// SchemaVersion is the current value of Report.Schema.
+const SchemaVersion = "repro-bench/v1"
+
+// NewReport returns an empty report from the given source.
+func NewReport(source string) *Report {
+	return &Report{Schema: SchemaVersion, Source: source}
+}
+
+// Add appends or merges an entry: metrics of an existing name are
+// overwritten key-wise, so producers can accumulate incrementally.
+func (r *Report) Add(name string, metrics map[string]float64) {
+	for i := range r.Entries {
+		if r.Entries[i].Name == name {
+			for k, v := range metrics {
+				r.Entries[i].Metrics[k] = v
+			}
+			return
+		}
+	}
+	m := make(map[string]float64, len(metrics))
+	for k, v := range metrics {
+		m[k] = v
+	}
+	r.Entries = append(r.Entries, Entry{Name: name, Metrics: m})
+}
+
+// Get returns the entry with the given name, or nil.
+func (r *Report) Get(name string) *Entry {
+	for i := range r.Entries {
+		if r.Entries[i].Name == name {
+			return &r.Entries[i]
+		}
+	}
+	return nil
+}
+
+// sorted returns the entries ordered by name (writing normalizes order
+// so reports diff cleanly regardless of production order).
+func (r *Report) sorted() {
+	sort.Slice(r.Entries, func(i, j int) bool { return r.Entries[i].Name < r.Entries[j].Name })
+}
+
+// Write marshals the report (entries sorted by name) to path, creating
+// parent directories as needed.
+func (r *Report) Write(path string) error {
+	r.sorted()
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("perf: marshal %s: %w", filepath.Base(path), err)
+	}
+	data = append(data, '\n')
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Read loads a report from path and validates the schema.
+func Read(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perf: parse %s: %w", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("perf: %s has schema %q, want %q", path, r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// Regression is one metric that worsened beyond the allowed ratio.
+type Regression struct {
+	Entry    string  // entry name
+	Metric   string  // metric name
+	Baseline float64 // checked-in value
+	Current  float64 // measured value
+	Ratio    float64 // Current / Baseline
+}
+
+// String implements fmt.Stringer.
+func (g Regression) String() string {
+	return fmt.Sprintf("%s %s: %.0f -> %.0f (%.2fx)", g.Entry, g.Metric, g.Baseline, g.Current, g.Ratio)
+}
+
+// Compare gates current against baseline: for every baseline entry and
+// every listed metric present on both sides, the current value may be
+// at most maxRatio times the baseline. Entries or metrics missing from
+// current are regressions too (a silently dropped benchmark must not
+// pass the gate); entries only in current are ignored (new benchmarks
+// need no baseline to land). Zero baselines gate on current > 0.
+func Compare(baseline, current *Report, maxRatio float64, metrics ...string) []Regression {
+	var out []Regression
+	for _, be := range baseline.Entries {
+		ce := current.Get(be.Name)
+		for _, m := range metrics {
+			bv, ok := be.Metric(m)
+			if !ok {
+				continue
+			}
+			if ce == nil {
+				out = append(out, Regression{Entry: be.Name, Metric: m, Baseline: bv, Current: -1, Ratio: -1})
+				continue
+			}
+			cv, ok := ce.Metric(m)
+			if !ok {
+				out = append(out, Regression{Entry: be.Name, Metric: m, Baseline: bv, Current: -1, Ratio: -1})
+				continue
+			}
+			switch {
+			case bv == 0:
+				if cv > 0 {
+					out = append(out, Regression{Entry: be.Name, Metric: m, Baseline: bv, Current: cv, Ratio: -1})
+				}
+			case cv > bv*maxRatio:
+				out = append(out, Regression{Entry: be.Name, Metric: m, Baseline: bv, Current: cv, Ratio: cv / bv})
+			}
+		}
+	}
+	return out
+}

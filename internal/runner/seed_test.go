@@ -1,0 +1,100 @@
+package runner
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// DeriveSeed is a cross-PR stability contract: every experiment cell's
+// seed — and therefore every number in every cells.json — is a pure
+// function of (base seed, labels). These tests pin the exact mapping so
+// an accidental change to the hash (which would silently shift every
+// artifact while still "looking deterministic") fails loudly.
+//
+// The derivation composes with internal/rng: DeriveSeed's splitmix64
+// finalizer is the same mixer rng.Stream steps with, so feeding a
+// derived seed into rng.New yields a stream independent of (and
+// non-overlapping with, in practice) every other label's stream.
+
+// TestDeriveSeedGolden pins the derivation for the seeds the scale
+// family (and the figure experiments) actually use. If this test fails,
+// every runs/<name>/cells.json changes identity: bump artifacts
+// deliberately or fix the regression.
+func TestDeriveSeedGolden(t *testing.T) {
+	cases := []struct {
+		base   uint64
+		labels []string
+		want   uint64
+	}{
+		{1, nil, 0x5ca6bbcbb1e85355},
+		{1, []string{"scale", "n1000"}, 0x2f4c4934accbfc4f},
+		{1, []string{"scale", "n10000"}, 0x5ae740e3e5db50f2},
+		{1, []string{"scale", "n100000"}, 0xb25eb129315d03d9},
+		{1, []string{"fig1", "static"}, 0x82e2b707dba72b84},
+	}
+	for _, c := range cases {
+		if got := DeriveSeed(c.base, c.labels...); got != c.want {
+			t.Errorf("DeriveSeed(%d, %v) = %#x, want %#x", c.base, c.labels, got, c.want)
+		}
+	}
+}
+
+// TestDeriveSeedLengthPrefixing asserts the label framing: ("ab","c")
+// and ("a","bc") concatenate identically but must hash differently
+// (labels are length-prefixed byte streams, not joined strings).
+func TestDeriveSeedLengthPrefixing(t *testing.T) {
+	a := DeriveSeed(7, "ab", "c")
+	b := DeriveSeed(7, "a", "bc")
+	if a == b {
+		t.Fatalf("DeriveSeed collides across label boundaries: %#x", a)
+	}
+	// Pin both so the framing itself is part of the contract.
+	if a != 0x2a01a28e5711672d || b != 0xf3f29108a155f835 {
+		t.Errorf("framing outputs moved: got %#x / %#x", a, b)
+	}
+}
+
+// TestDeriveSeedNeverZero: 0 is a degenerate seed for some generators;
+// the derivation promises to avoid it.
+func TestDeriveSeedNeverZero(t *testing.T) {
+	for base := uint64(0); base < 64; base++ {
+		if DeriveSeed(base) == 0 || DeriveSeed(base, "x") == 0 {
+			t.Fatalf("DeriveSeed produced 0 at base %d", base)
+		}
+	}
+}
+
+// TestDeriveSeedFeedsRNG is the cross-package regression test: a
+// derived seed fed into rng.New must yield the pinned stream prefix.
+// Together with TestDeriveSeedGolden this freezes the full path from
+// (base seed, cell labels) to the random numbers a cell consumes —
+// which is exactly why scale cells are identical at any worker count:
+// nothing on this path can observe scheduling.
+func TestDeriveSeedFeedsRNG(t *testing.T) {
+	s := rng.New(DeriveSeed(1, "scale", "n1000"))
+	if got := s.Uint64(); got != 0x2a6451078f08648f {
+		t.Errorf("first output = %#x, want 0x2a6451078f08648f", got)
+	}
+	if got := s.Uint64(); got != 0xa240f4482604b92c {
+		t.Errorf("second output = %#x, want 0xa240f4482604b92c", got)
+	}
+}
+
+// TestDeriveSeedIndependence: distinct cells of one experiment, and the
+// same cell under distinct base seeds, all get distinct seeds.
+func TestDeriveSeedIndependence(t *testing.T) {
+	seen := map[uint64][]string{}
+	for _, base := range []uint64{1, 2, 3} {
+		for _, exp := range []string{"scale", "fig1", "fig2"} {
+			for _, cell := range []string{"n1000", "n10000", "static", "dynamic"} {
+				s := DeriveSeed(base, exp, cell)
+				key := []string{exp, cell}
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("seed collision: base %d %v vs %v", base, key, prev)
+				}
+				seen[s] = key
+			}
+		}
+	}
+}

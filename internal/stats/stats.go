@@ -49,45 +49,84 @@ func (r *Record) MeanLatency() float64 {
 	return r.LatencySum / float64(r.Replies)
 }
 
-// Ledger maps peers to Records for one observing node.
+// entry pairs a peer with its record. Records stay individually
+// heap-allocated so the *Record returned by Get/Touch remains valid
+// across later insertions (the entry slice may shift).
+type entry struct {
+	peer topology.NodeID
+	rec  *Record
+}
+
+// Ledger holds the Records of one observing node, as a slice of
+// entries sorted by peer ID. A node's ledger covers the peers it has
+// encountered through search and exploration — tens of entries under
+// the paper's parameters — so binary-searched slices beat a map on
+// both lookup cost and allocation, and the sorted order makes Peers
+// and Rank deterministic without a per-call sort of the key set.
 type Ledger struct {
-	records map[topology.NodeID]*Record
+	entries []entry
 }
 
 // NewLedger returns an empty ledger.
 func NewLedger() *Ledger {
-	return &Ledger{records: make(map[topology.NodeID]*Record)}
+	return &Ledger{}
+}
+
+// find returns the position of peer and whether it is present; absent
+// peers report the insertion index that keeps entries sorted.
+func (l *Ledger) find(peer topology.NodeID) (int, bool) {
+	lo, hi := 0, len(l.entries)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if l.entries[mid].peer < peer {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(l.entries) && l.entries[lo].peer == peer
 }
 
 // Get returns the record for peer, or nil if none exists.
-func (l *Ledger) Get(peer topology.NodeID) *Record { return l.records[peer] }
+func (l *Ledger) Get(peer topology.NodeID) *Record {
+	if i, ok := l.find(peer); ok {
+		return l.entries[i].rec
+	}
+	return nil
+}
 
 // Touch returns the record for peer, creating it if needed.
 func (l *Ledger) Touch(peer topology.NodeID) *Record {
-	r := l.records[peer]
-	if r == nil {
-		r = &Record{}
-		l.records[peer] = r
+	i, ok := l.find(peer)
+	if ok {
+		return l.entries[i].rec
 	}
+	r := &Record{}
+	l.entries = append(l.entries, entry{})
+	copy(l.entries[i+1:], l.entries[i:])
+	l.entries[i] = entry{peer: peer, rec: r}
 	return r
 }
 
 // Reset erases everything known about peer. The paper's eviction rule
 // (Algo 5, Process_Eviction) resets the evictor's statistics so the
 // evicted node does not immediately re-invite it.
-func (l *Ledger) Reset(peer topology.NodeID) { delete(l.records, peer) }
+func (l *Ledger) Reset(peer topology.NodeID) {
+	if i, ok := l.find(peer); ok {
+		l.entries = append(l.entries[:i], l.entries[i+1:]...)
+	}
+}
 
 // Len returns the number of peers with records.
-func (l *Ledger) Len() int { return len(l.records) }
+func (l *Ledger) Len() int { return len(l.entries) }
 
 // Peers returns all recorded peer IDs in ascending order (deterministic
 // iteration for the simulator).
 func (l *Ledger) Peers() []topology.NodeID {
-	out := make([]topology.NodeID, 0, len(l.records))
-	for id := range l.records {
-		out = append(out, id)
+	out := make([]topology.NodeID, len(l.entries))
+	for i, e := range l.entries {
+		out[i] = e.peer
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 
@@ -99,10 +138,10 @@ func (l *Ledger) Decay(factor float64) {
 	if factor < 0 || factor > 1 {
 		panic(fmt.Sprintf("stats: decay factor %v outside [0,1]", factor))
 	}
-	for _, r := range l.records {
-		r.Benefit *= factor
-		r.LatencySum *= factor
-		r.CostSaved *= factor
+	for _, e := range l.entries {
+		e.rec.Benefit *= factor
+		e.rec.LatencySum *= factor
+		e.rec.CostSaved *= factor
 	}
 }
 
@@ -202,12 +241,12 @@ type Scored struct {
 // removes peers from consideration (e.g. the node itself or off-line
 // peers).
 func (l *Ledger) Rank(b Benefit, exclude func(topology.NodeID) bool) []Scored {
-	out := make([]Scored, 0, len(l.records))
-	for id, r := range l.records {
-		if exclude != nil && exclude(id) {
+	out := make([]Scored, 0, len(l.entries))
+	for _, e := range l.entries {
+		if exclude != nil && exclude(e.peer) {
 			continue
 		}
-		out = append(out, Scored{Peer: id, Score: b.Score(r)})
+		out = append(out, Scored{Peer: e.peer, Score: b.Score(e.rec)})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Score != out[j].Score {
@@ -240,7 +279,7 @@ func (l *Ledger) Least(b Benefit, candidates []topology.NodeID) topology.NodeID 
 	bestScore := 0.0
 	for _, id := range candidates {
 		score := 0.0
-		if r := l.records[id]; r != nil {
+		if r := l.Get(id); r != nil {
 			score = b.Score(r)
 		}
 		if best == topology.None || score < bestScore ||

@@ -56,6 +56,11 @@ func (r Relation) String() string {
 // Order is maintained for determinism (iteration order == insertion
 // order), and membership tests are O(len) — lists hold a handful of
 // entries (the paper uses 4), so linear scans beat map overhead.
+//
+// The zero value is an unbounded empty list; Network embeds lists by
+// value so building an n-node network costs one slice allocation, not
+// 3n. Always use NeighborList through a pointer (methods have pointer
+// receivers); copying a list aliases its backing array.
 type NeighborList struct {
 	ids []NodeID
 	cap int
@@ -92,6 +97,11 @@ func (l *NeighborList) Add(id NodeID) bool {
 	if l.Full() || l.Contains(id) {
 		return false
 	}
+	if l.ids == nil && l.cap > 0 {
+		// First member of a capped list: size the backing array exactly
+		// once — capped lists (the simulation case) never reallocate.
+		l.ids = make([]NodeID, 0, l.cap)
+	}
 	l.ids = append(l.ids, id)
 	return true
 }
@@ -124,17 +134,21 @@ func (l *NeighborList) Clear() { l.ids = l.ids[:0] }
 
 // Node is one repository's neighborhood state: the outgoing list L_i
 // (where its own requests go) and the incoming list I_i (who may send
-// to it).
+// to it). Nodes are stored by value inside Network.nodes — always
+// access them through Network.Node (a stable pointer into that slice),
+// never copy a Node.
 type Node struct {
 	ID  NodeID
-	Out *NeighborList
-	In  *NeighborList
+	Out NeighborList
+	In  NeighborList
 }
 
-// Network is the global neighbor graph for n nodes.
+// Network is the global neighbor graph for n nodes, stored as one flat
+// node slice indexed by NodeID — building a 100k-node network is a
+// single allocation plus the lazily-created neighbor backing arrays.
 type Network struct {
 	relation Relation
-	nodes    []*Node
+	nodes    []Node
 }
 
 // NewNetwork builds a network of n isolated nodes under the given
@@ -153,13 +167,11 @@ func NewNetwork(relation Relation, n, outCap, inCap int) *Network {
 	case AllToAll:
 		outCap, inCap = 0, 0
 	}
-	net := &Network{relation: relation, nodes: make([]*Node, n)}
+	net := &Network{relation: relation, nodes: make([]Node, n)}
 	for i := range net.nodes {
-		net.nodes[i] = &Node{
-			ID:  NodeID(i),
-			Out: NewNeighborList(outCap),
-			In:  NewNeighborList(inCap),
-		}
+		net.nodes[i].ID = NodeID(i)
+		net.nodes[i].Out.cap = outCap
+		net.nodes[i].In.cap = inCap
 	}
 	if relation == AllToAll {
 		for i := range net.nodes {
@@ -180,9 +192,10 @@ func (net *Network) Relation() Relation { return net.relation }
 // Len returns the number of nodes.
 func (net *Network) Len() int { return len(net.nodes) }
 
-// Node returns the state of one node.
+// Node returns the state of one node. The pointer stays valid for the
+// network's lifetime (the node slice never reallocates).
 func (net *Network) Node(id NodeID) *Node {
-	return net.nodes[id]
+	return &net.nodes[id]
 }
 
 // Out returns node id's outgoing neighbor IDs (shared backing array).
@@ -200,7 +213,7 @@ func (net *Network) Connect(src, dst NodeID) bool {
 	if src == dst {
 		return false
 	}
-	s, d := net.nodes[src], net.nodes[dst]
+	s, d := &net.nodes[src], &net.nodes[dst]
 	if s.Out.Contains(dst) || s.Out.Full() || d.In.Full() {
 		return false
 	}
@@ -224,7 +237,7 @@ func (net *Network) Connect(src, dst NodeID) bool {
 // edge in the Symmetric regime). It reports whether an edge was
 // removed.
 func (net *Network) Disconnect(src, dst NodeID) bool {
-	s, d := net.nodes[src], net.nodes[dst]
+	s, d := &net.nodes[src], &net.nodes[dst]
 	if !s.Out.Remove(dst) {
 		return false
 	}
@@ -239,7 +252,7 @@ func (net *Network) Disconnect(src, dst NodeID) bool {
 // Isolate removes every edge touching id (both directions). Used when a
 // node goes off-line.
 func (net *Network) Isolate(id NodeID) {
-	n := net.nodes[id]
+	n := &net.nodes[id]
 	for _, out := range n.Out.Snapshot() {
 		net.Disconnect(id, out)
 	}
@@ -274,7 +287,8 @@ func (e InconsistentEdge) String() string {
 // regime is Symmetric. An empty slice means the network is consistent.
 func (net *Network) AuditConsistency() []InconsistentEdge {
 	var bad []InconsistentEdge
-	for _, n := range net.nodes {
+	for i := range net.nodes {
+		n := &net.nodes[i]
 		for _, dst := range n.Out.IDs() {
 			if !net.nodes[dst].In.Contains(n.ID) {
 				bad = append(bad, InconsistentEdge{Src: n.ID, Dst: dst})
@@ -302,8 +316,8 @@ func (net *Network) Consistent() bool { return len(net.AuditConsistency()) == 0 
 // EdgeCount returns the total number of directed edges.
 func (net *Network) EdgeCount() int {
 	n := 0
-	for _, node := range net.nodes {
-		n += node.Out.Len()
+	for i := range net.nodes {
+		n += net.nodes[i].Out.Len()
 	}
 	return n
 }

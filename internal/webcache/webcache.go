@@ -162,6 +162,7 @@ type Sim struct {
 	topoStream  *rng.Stream
 	delayStream *rng.Stream
 	cascade     *core.Cascade
+	scratch     *core.Scratch
 }
 
 // New builds a run without starting it.
@@ -176,6 +177,7 @@ func New(cfg Config) *Sim {
 		cfg:         cfg,
 		engine:      sim.New(),
 		network:     topology.NewNetwork(topology.PureAsymmetric, n, cfg.Neighbors, 0),
+		scratch:     core.NewScratch(n),
 		space:       space,
 		interests:   space.AssignInterests(root.Split()),
 		classes:     netsim.AssignClasses(root.Split().Intn, n),
@@ -315,7 +317,7 @@ func (s *Sim) handleRequest(id topology.NodeID, now float64) {
 			probed = append(probed, to)
 		}
 	}
-	outcome := s.cascade.Run(q)
+	outcome := s.cascade.RunScratch(q, s.scratch)
 
 	led := s.ledgers[id]
 	holder := topology.None
@@ -389,11 +391,11 @@ func (s *Sim) explore(id topology.NodeID, now float64) {
 	s.cascade.OnMessage = func(_, _ topology.NodeID) {
 		s.met.Meter.Count(netsim.MsgExplore, now, 1)
 	}
-	out := s.cascade.Explore(&core.Exploration{
+	out := s.cascade.ExploreScratch(&core.Exploration{
 		Keys:   append([]workload.PageID(nil), probes...),
 		Origin: id,
 		TTL:    s.cfg.ExploreTTL,
-	})
+	}, s.scratch)
 	core.RecordFindings(s.ledgers[id], out, now, func(topology.NodeID) float64 { return 1 })
 }
 
