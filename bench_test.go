@@ -20,8 +20,11 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/runner"
+	"repro/internal/topology"
+	"repro/pkg/search"
 )
 
 // BenchmarkFig1 regenerates Figure 1 (hops = 2): queries satisfied per
@@ -149,11 +152,100 @@ func BenchmarkDrift(b *testing.B) {
 	}
 }
 
+// benchNet is an immutable 4-regular network (ring plus ±7 chords)
+// where node h holds key k iff h == int(k) % n — the per-query
+// benchmark fixture shared by the facade and raw-cascade paths.
+type benchNet struct {
+	n   int
+	out [][]topology.NodeID
+}
+
+func newBenchNet(n int) *benchNet {
+	bn := &benchNet{n: n, out: make([][]topology.NodeID, n)}
+	for i := 0; i < n; i++ {
+		bn.out[i] = []topology.NodeID{
+			topology.NodeID((i + 1) % n),
+			topology.NodeID((i + n - 1) % n),
+			topology.NodeID((i + 7) % n),
+			topology.NodeID((i + n - 7) % n),
+		}
+	}
+	return bn
+}
+
+func (b *benchNet) Out(id topology.NodeID) []topology.NodeID { return b.out[id] }
+func (b *benchNet) Online(topology.NodeID) bool              { return true }
+func (b *benchNet) HasContent(id topology.NodeID, key core.Key) bool {
+	return int(id) == int(key)%b.n
+}
+
+// BenchmarkEnginePooled proves the pkg/search facade adds ~0 allocs/op
+// over the expert-only core.RunScratch path it wraps: both
+// sub-benchmarks drive identical TTL-4 floods of a 10k-node network,
+// one query per op. "raw" holds one caller-managed Scratch; "engine"
+// goes through Engine.Do (scratch pool, context plumbing, caller-owned
+// results). cmd/perfcheck gates both entries' allocs/op in CI.
+func BenchmarkEnginePooled(b *testing.B) {
+	const n = 10_000
+	net := newBenchNet(n)
+	query := func(i int) (origin topology.NodeID, key core.Key) {
+		origin = topology.NodeID((i * 13) % n)
+		return origin, core.Key((int(origin) + 2) % n) // holder two ring-hops out
+	}
+
+	b.Run("engine", func(b *testing.B) {
+		eng, err := search.New(net, search.WithTTL(4), search.WithScratchHint(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		// Warm the scratch pool to its high-water marks so allocs/op
+		// reflects the steady state, as in the raw path.
+		if _, err := eng.Do(ctx, search.Query{Key: 2, Origin: 0}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		hits := 0
+		for i := 0; i < b.N; i++ {
+			origin, key := query(i)
+			res, err := eng.Do(ctx, search.Query{ID: uint64(i), Key: key, Origin: origin})
+			if err != nil {
+				b.Fatal(err)
+			}
+			hits += len(res.Hits)
+		}
+		if hits != b.N {
+			b.Fatalf("%d hits over %d queries, want one each", hits, b.N)
+		}
+	})
+	b.Run("raw", func(b *testing.B) {
+		cascade := &core.Cascade{
+			Graph:   net,
+			Content: core.ContentFunc(net.HasContent),
+			Forward: core.Flood{},
+		}
+		scratch := core.NewScratch(n)
+		cascade.RunScratch(&core.Query{Key: 2, Origin: 0, TTL: 4}, scratch)
+		b.ResetTimer()
+		hits := 0
+		for i := 0; i < b.N; i++ {
+			origin, key := query(i)
+			out := cascade.RunScratch(&core.Query{
+				ID: core.QueryID(i), Key: key, Origin: origin, TTL: 4,
+			}, scratch)
+			hits += len(out.Results)
+		}
+		if hits != b.N {
+			b.Fatalf("%d hits over %d queries, want one each", hits, b.N)
+		}
+	})
+}
+
 // BenchmarkCascade100k drives the scale family's largest cell: 2,000
 // queries over a 100k-node client/provider/bystander network through
-// one pooled core.Scratch. The custom metrics isolate the query loop
-// (the network build is inside the op, so allocs/op includes setup;
-// allocs-per-query is the hot-path number).
+// the facade's pooled engine. The custom metrics isolate the query
+// loop (the network build is inside the op, so allocs/op includes
+// setup; allocs-per-query is the hot-path number).
 func BenchmarkCascade100k(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := experiments.DefaultScaleConfig(100_000, 2_000, uint64(i+1))

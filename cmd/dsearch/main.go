@@ -6,7 +6,10 @@
 //
 //	dsearch -id 0 -listen 127.0.0.1:7000 \
 //	        -peers "1=127.0.0.1:7001,2=127.0.0.1:7002" \
-//	        -neighbors 1,2 -keys 10,11,12
+//	        -neighbors 1,2 -keys 10,11,12 [-policy flood]
+//
+// -policy accepts any pkg/search registry name ("flood", "random-2",
+// "directed-bft-2", ...); run with -policy help to list them.
 //
 // Commands on stdin:
 //
@@ -28,7 +31,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/live"
 	"repro/internal/netsim"
+	"repro/internal/rng"
 	"repro/internal/topology"
+	"repro/pkg/search"
 )
 
 func main() {
@@ -42,8 +47,19 @@ func main() {
 		capacity  = flag.Int("cap", 4, "neighbor capacity")
 		timeout   = flag.Duration("timeout", 2*time.Second, "search collection window")
 		class     = flag.String("class", "cable", "bandwidth class: 56k, cable or lan")
+		policy    = flag.String("policy", "flood", "forward policy by registry name (or 'help' to list)")
+		seed      = flag.Uint64("seed", 1, "seed for stochastic forward policies")
 	)
 	flag.Parse()
+
+	if *policy == "help" {
+		fmt.Println("policies:", strings.Join(search.PolicyNames(), " "))
+		return
+	}
+	forward, err := search.PolicyByName(*policy, search.PolicyEnv{Intn: rng.New(*seed).Intn})
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	store := live.MapStore{}
 	for _, k := range splitInts(*keys) {
@@ -74,6 +90,7 @@ func main() {
 		Transport: transport,
 		Store:     store,
 		Class:     parseClass(*class),
+		Forward:   forward,
 	})
 
 	addr, stopListen, err := live.Listen(*listen, node.Deliver)

@@ -8,7 +8,9 @@
 // Experiments: fig1 fig2 fig3a fig3b all (plus the single-table
 // aliases fig1a fig1b fig2a fig2b), the ablations: directed iterdeep
 // localindex asym benefit drift webcache peerolap, and the engine
-// stress family: scale (1k/10k/100k-node cascade sweeps).
+// stress families: scale (1k/10k/100k-node cascade sweeps) and
+// policies (the pkg/search forward-policy registry swept over one
+// network; -list-policies prints the registry).
 //
 // All selected experiments decompose into independent simulation cells
 // that shard across one bounded worker pool (internal/runner). Results
@@ -32,11 +34,12 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/runner"
+	"repro/pkg/search"
 )
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1a fig1b fig2a fig2b fig3a fig3b all directed iterdeep localindex asym benefit drift webcache peerolap scale")
+		exp      = flag.String("exp", "all", "experiment: fig1a fig1b fig2a fig2b fig3a fig3b all directed iterdeep localindex asym benefit drift webcache peerolap scale policies")
 		only     = flag.String("only", "", "comma-separated experiment subset (overrides -exp)")
 		scale    = flag.String("scale", "ci", "scale: full (paper, minutes) or ci (reduced, seconds)")
 		seed     = flag.Uint64("seed", 1, "experiment seed")
@@ -46,8 +49,16 @@ func main() {
 		outRoot  = flag.String("out", "runs", "artifact root directory (with -json)")
 		runName  = flag.String("name", "", "artifact run name (default <exp>-<scale>-s<seed>)")
 		progress = flag.Bool("progress", false, "report per-cell progress and ETA on stderr")
+		policies = flag.Bool("list-policies", false, "list the pkg/search forward-policy registry and exit")
 	)
 	flag.Parse()
+
+	if *policies {
+		// The policies experiment sweeps these; cmd/dsearch selects them
+		// with -policy. One registry backs both.
+		fmt.Println(strings.Join(search.PolicyNames(), "\n"))
+		return
+	}
 
 	sc, err := experiments.ParseScale(*scale)
 	if err != nil {

@@ -2,13 +2,16 @@
 // Searching in Distributed Data Repositories" (Bakiras, Kalnis,
 // Loukopoulos, Ng — IPDPS 2003).
 //
-// The library lives under internal/: the framework core (search,
-// exploration, neighbor update) in internal/core, its substrates
-// (simulator, network model, topology, statistics, digests, workloads)
-// in sibling packages, and three case-study bindings (gnutella,
-// webcache, peerolap). internal/runner shards independent experiment
-// cells across a worker pool with deterministic results at any worker
-// count. cmd/repro regenerates every figure of the paper's evaluation;
-// bench_test.go in this directory does the same under `go test
-// -bench`. See README.md, DESIGN.md and EXPERIMENTS.md.
+// The public API is pkg/search: a pooled, context-aware, streaming
+// query facade (Do/Stream/Batch) over the cascade core, with a
+// string-keyed forward-policy registry. The implementation lives under
+// internal/: the framework core (search, exploration, neighbor update)
+// in internal/core, its substrates (simulator, network model,
+// topology, statistics, digests, workloads) in sibling packages, and
+// three case-study bindings (gnutella, webcache, peerolap) — all of
+// which search through the facade. internal/runner shards independent
+// experiment cells across a worker pool with deterministic results at
+// any worker count. cmd/repro regenerates every figure of the paper's
+// evaluation; bench_test.go in this directory does the same under `go
+// test -bench`. See README.md, DESIGN.md and EXPERIMENTS.md.
 package repro

@@ -16,14 +16,28 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/rng"
 	"repro/internal/topology"
+	"repro/pkg/search"
 )
 
 func main() {
 	var (
 		nodes  = flag.Int("nodes", 8, "cluster size")
 		useTCP = flag.Bool("tcp", false, "use localhost TCP instead of in-process channels")
+		policy = flag.String("policy", "flood", "forward policy (pkg/search registry name)")
 	)
 	flag.Parse()
+
+	// Policies are config strings: any pkg/search registry name works
+	// here ("flood", "random-2", "directed-bft-2", ...). Each node gets
+	// its own instance — live nodes run concurrent actor goroutines, and
+	// stochastic policies carry an unsynchronized rng stream.
+	forwardFor := func(i int) core.ForwardPolicy {
+		p, err := search.PolicyByName(*policy, search.PolicyEnv{Intn: rng.New(uint64(i + 1)).Intn})
+		if err != nil {
+			panic(err)
+		}
+		return p
+	}
 
 	// Content: node i holds keys 100*i .. 100*i+9.
 	stores := make([]live.MapStore, *nodes)
@@ -43,7 +57,7 @@ func main() {
 		defer tcp.Close()
 		transport = tcp
 		for i := range cluster {
-			cluster[i] = newNode(i, transport, stores[i])
+			cluster[i] = newNode(i, transport, stores[i], forwardFor(i))
 			addr, stop, err := live.Listen("127.0.0.1:0", cluster[i].Deliver)
 			if err != nil {
 				panic(err)
@@ -56,7 +70,7 @@ func main() {
 		ch := live.NewChanTransport()
 		transport = ch
 		for i := range cluster {
-			cluster[i] = newNode(i, transport, stores[i])
+			cluster[i] = newNode(i, transport, stores[i], forwardFor(i))
 			ch.Attach(cluster[i])
 		}
 	}
@@ -107,7 +121,7 @@ func main() {
 	}
 }
 
-func newNode(i int, tr live.Transport, store live.MapStore) *live.Node {
+func newNode(i int, tr live.Transport, store live.MapStore, forward core.ForwardPolicy) *live.Node {
 	return live.NewNode(live.Config{
 		ID:        topology.NodeID(i),
 		Neighbors: 4,
@@ -115,5 +129,6 @@ func newNode(i int, tr live.Transport, store live.MapStore) *live.Node {
 		Transport: tr,
 		Store:     store,
 		Class:     netsim.BandwidthClass(i % 3),
+		Forward:   forward,
 	})
 }

@@ -1,13 +1,15 @@
-// Quickstart: the framework in ~60 lines.
+// Quickstart: the framework in ~60 lines, through the public facade.
 //
-// Build a small repository network, search it through the generic
-// cascade (Algo 1), collect statistics, and let one node reconfigure
-// its neighborhood with the symmetric updater (Algo 4). Run with:
+// Build a small repository network, search it with a pkg/search Engine
+// (one-shot, then streaming), collect statistics, and let one node
+// reconfigure its neighborhood with the symmetric updater (Algo 4).
+// Run with:
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -15,6 +17,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/stats"
 	"repro/internal/topology"
+	"repro/pkg/search"
 )
 
 // env adapts the pieces to the framework's small interfaces.
@@ -26,9 +29,12 @@ type env struct {
 
 func (e *env) Out(id topology.NodeID) []topology.NodeID { return e.net.Out(id) }
 func (e *env) Online(topology.NodeID) bool              { return true }
-func (e *env) Net() *topology.Network                   { return e.net }
-func (e *env) Ledger(id topology.NodeID) *stats.Ledger  { return e.ledgers[id] }
-func (e *env) ResetCounter(topology.NodeID)             {}
+func (e *env) HasContent(id topology.NodeID, k core.Key) bool {
+	return e.content[id][k]
+}
+func (e *env) Net() *topology.Network                  { return e.net }
+func (e *env) Ledger(id topology.NodeID) *stats.Ledger { return e.ledgers[id] }
+func (e *env) ResetCounter(topology.NodeID)            {}
 func (e *env) Control(kind netsim.MessageKind, from, to topology.NodeID) {
 	fmt.Printf("  control: %v %d -> %d\n", kind, from, to)
 }
@@ -51,22 +57,28 @@ func main() {
 	const hotItem core.Key = 42
 	e.content[5][hotItem] = true
 
-	// A search cascade over the network (flooding, 100 ms per hop).
-	cascade := &core.Cascade{
-		Graph:   e,
-		Content: core.ContentFunc(func(id topology.NodeID, k core.Key) bool { return e.content[id][k] }),
-		Forward: core.Flood{},
-		Delay:   func(_, _ topology.NodeID) float64 { return 0.1 },
+	// The public facade: a pooled, concurrency-safe engine over the
+	// network (flooding by registry name, 100 ms per hop).
+	eng, err := search.New(e,
+		search.WithPolicy("flood"),
+		search.WithTTL(7),
+		search.WithDelay(func(_, _ topology.NodeID) float64 { return 0.1 }))
+	if err != nil {
+		panic(err)
 	}
+	ctx := context.Background()
 
 	// Node 0 searches for the hot item: 5 hops away around the ring.
-	out := cascade.Run(&core.Query{ID: 1, Key: hotItem, Origin: 0, TTL: 7})
+	out, err := eng.Do(ctx, search.Query{ID: 1, Key: hotItem, Origin: 0})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("search: %d result(s), %d messages, first after %.1f ms\n",
-		len(out.Results), out.Messages, out.FirstResultDelay*1000)
+		len(out.Hits), out.Messages, out.FirstResultDelay*1000)
 
 	// Record what the search taught node 0 and reconfigure: node 5
 	// should become a direct neighbor.
-	for _, r := range out.Results {
+	for _, r := range out.Hits {
 		rec := e.ledgers[0].Touch(r.Holder)
 		rec.Hits++
 		rec.Benefit += 1
@@ -80,10 +92,15 @@ func main() {
 	fmt.Printf("reconfigure: invited %v, evicted %v\n", rep.Accepted, rep.Evicted)
 	fmt.Printf("node 0 neighbors: %v (consistent: %v)\n", e.net.Out(0), e.net.Consistent())
 
-	// The same search is now a single hop.
-	out = cascade.Run(&core.Query{ID: 2, Key: hotItem, Origin: 0, TTL: 7})
-	fmt.Printf("search again: %d message(s), first after %.1f ms\n",
-		out.Messages, out.FirstResultDelay*1000)
+	// The same search is now a single hop — streamed this time, each
+	// hit arriving the moment its reply reaches the origin.
+	for hit, err := range eng.Stream(ctx, search.Query{ID: 2, Key: hotItem, Origin: 0}) {
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("search again: hit at node %d after %d hop(s), %.1f ms\n",
+			hit.Holder, hit.Hops, hit.Delay*1000)
+	}
 
 	// Seeded randomness for everything else in the library:
 	fmt.Printf("deterministic streams: %d == %d\n",

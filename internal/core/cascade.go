@@ -45,6 +45,17 @@ type Cascade struct {
 	// OnReplyHop, when non-nil, is invoked for every hop of a reply on
 	// the reverse route.
 	OnReplyHop func(from, to topology.NodeID)
+	// OnResult, when non-nil, is invoked for every result the moment its
+	// reply reaches the origin — before the cascade finishes — enabling
+	// incremental (streaming) consumption. The Result is passed by value
+	// and safe to retain.
+	OnResult func(Result)
+	// Halt, when non-nil, is polled between cascade hops (once per
+	// arrival processed) and before each deepening iteration; when it
+	// returns true the search stops and returns the partial outcome
+	// accumulated so far. External cancellation (context.Context) plugs
+	// in here; pkg/search wires it for every call.
+	Halt func() bool
 }
 
 // Run executes the search for query q and returns its outcome. It
@@ -130,6 +141,9 @@ func (c *Cascade) RunScratch(q *Query, s *Scratch) *Outcome {
 	}
 
 	for {
+		if c.Halt != nil && c.Halt() {
+			break
+		}
 		a, ok := s.heap.pop()
 		if !ok {
 			break
@@ -181,9 +195,13 @@ func (c *Cascade) RunScratch(q *Query, s *Scratch) *Outcome {
 					s.visits[a.node].idxEpoch = s.epoch
 				}
 				total := now + replyDelay
-				out.Results = append(out.Results, Result{Holder: a.node, Hops: int(a.hops), Delay: total})
+				res := Result{Holder: a.node, Hops: int(a.hops), Delay: total}
+				out.Results = append(out.Results, res)
 				if out.FirstResultDelay == 0 || total < out.FirstResultDelay {
 					out.FirstResultDelay = total
+				}
+				if c.OnResult != nil {
+					c.OnResult(res)
 				}
 			}
 			// Answer for indexed peers beyond this node.
@@ -249,6 +267,9 @@ func (d IterativeDeepening) RunScratch(c *Cascade, q *Query, s *Scratch) *Outcom
 			panic(fmt.Sprintf("core: deepening schedule not increasing at depth %d", depth))
 		}
 		prev = depth
+		if c.Halt != nil && c.Halt() {
+			break // halted mid-schedule: do not deepen into a canceled run
+		}
 		qq := *q
 		qq.TTL = depth
 		o := c.RunScratch(&qq, s)

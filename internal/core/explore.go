@@ -130,6 +130,9 @@ func (c *Cascade) ExploreScratch(x *Exploration, s *Scratch) *ExploreOutcome {
 	}
 
 	for {
+		if c.Halt != nil && c.Halt() {
+			break
+		}
 		a, ok := s.heap.pop()
 		if !ok {
 			break

@@ -56,9 +56,13 @@ func (c *Cascade) indexResults(q *Query, out *Outcome, s *Scratch,
 		if h != at {
 			total += delay(at, h) // indexing node pinged the holder
 		}
-		out.Results = append(out.Results, Result{Holder: h, Hops: hops + 1, Delay: total})
+		res := Result{Holder: h, Hops: hops + 1, Delay: total}
+		out.Results = append(out.Results, res)
 		if out.FirstResultDelay == 0 || total < out.FirstResultDelay {
 			out.FirstResultDelay = total
+		}
+		if c.OnResult != nil {
+			c.OnResult(res)
 		}
 		if q.MaxResults > 0 && len(out.Results) >= q.MaxResults {
 			break

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/runner"
+)
+
+// The policies experiment family sweeps the pkg/search policy registry
+// over one mid-size scale network: the same wiring, holdings and query
+// stream under every forward policy, isolating what fan-out alone buys
+// and costs. It exists because policies are now config-selectable
+// strings — the sweep is literally a list of registry names, and adding
+// a policy family via search.RegisterPolicy makes it sweepable with one
+// line here.
+//
+// Stochastic families (random-<k>) draw deterministic per-query streams
+// inside the engine, so every cell remains a pure function of (config,
+// seed) and cells.json stays byte-comparable at any worker count.
+
+// policySweep lists the registry names the sweep compares. directed-bft
+// degenerates to flooding here (no ledgers accumulate in the stateless
+// scale harness) and is deliberately included: the sweep pins that
+// equivalence down.
+var policySweep = []string{"flood", "random-3", "random-2", "random-1", "directed-bft-2"}
+
+// PolicySummary is the deterministic output of one policies cell.
+type PolicySummary struct {
+	Policy string `json:"policy"`
+	ScaleSummary
+}
+
+// policyNodes returns the sweep's network size: large enough that
+// fan-out differences dominate, small enough for CI.
+func policyNodes(s Scale) int {
+	if s == Full {
+		return 10_000
+	}
+	return 1_000
+}
+
+// PolicyCells returns one cell per registry policy name over the shared
+// network shape.
+func PolicyCells(experiment string, scale Scale, seed uint64) []runner.Cell {
+	// Every cell shares the experiment seed: identical wiring, holdings
+	// and query stream, so the comparison isolates the policy itself —
+	// the same pairing discipline as the figure experiments.
+	cells := make([]runner.Cell, 0, len(policySweep))
+	for _, policy := range policySweep {
+		policy := policy
+		cfg := DefaultScaleConfig(policyNodes(scale), scaleQueries(scale)/2, seed)
+		cfg.Policy = policy
+		cells = append(cells, runner.Cell{
+			Experiment: experiment,
+			Name:       policy,
+			Seed:       cfg.Seed,
+			Run: func(_ context.Context, cellSeed uint64) (any, error) {
+				c := cfg
+				c.Seed = cellSeed
+				sum, _, err := RunScale(c)
+				if err != nil {
+					return nil, err
+				}
+				return &PolicySummary{Policy: policy, ScaleSummary: *sum}, nil
+			},
+		})
+	}
+	return cells
+}
+
+// AssemblePolicies validates the results of PolicyCells, in sweep
+// order.
+func AssemblePolicies(rs []runner.Result) ([]*PolicySummary, error) {
+	out := make([]*PolicySummary, len(rs))
+	for i, r := range rs {
+		if r.Err != "" {
+			return nil, fmt.Errorf("experiments: cell %s/%s failed: %s", r.Experiment, r.Cell, r.Err)
+		}
+		sum, ok := r.Value.(*PolicySummary)
+		if !ok {
+			return nil, fmt.Errorf("experiments: cell %s/%s has value %T, want *PolicySummary",
+				r.Experiment, r.Cell, r.Value)
+		}
+		out[i] = sum
+	}
+	return out, nil
+}
+
+// PolicyTable renders the sweep.
+func PolicyTable(sums []*PolicySummary) *metrics.Table {
+	t := metrics.NewTable(
+		fmt.Sprintf("Forward-policy sweep over one %d-node network (pkg/search registry)", sums[0].Nodes),
+		"policy", "hit_rate", "msgs/query", "visited", "p50_ms", "p95_ms")
+	for _, s := range sums {
+		t.AddRow(s.Policy, s.HitRate, s.MsgsPerQuery, s.VisitedMean, s.DelayP50Ms, s.DelayP95Ms)
+	}
+	return t
+}
+
+// Policies runs the sweep on the default pool and returns the
+// summaries.
+func Policies(scale Scale, seed uint64) []*PolicySummary {
+	return must(AssemblePolicies(runLocal(PolicyCells("policies", scale, seed))))
+}

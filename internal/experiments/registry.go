@@ -156,6 +156,17 @@ func Registry(scale Scale, seed uint64) []Definition {
 			},
 		},
 		scaleDefinition(scale, seed),
+		{
+			Name:  "policies",
+			Cells: PolicyCells("policies", scale, seed),
+			Tables: func(rs []runner.Result) ([]*metrics.Table, error) {
+				sums, err := AssemblePolicies(rs)
+				if err != nil {
+					return nil, err
+				}
+				return []*metrics.Table{PolicyTable(sums)}, nil
+			},
+		},
 	}
 }
 

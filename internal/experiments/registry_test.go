@@ -8,7 +8,7 @@ import (
 
 func TestRegistryWellFormed(t *testing.T) {
 	defs := Registry(CI, 1)
-	if len(defs) != 13 {
+	if len(defs) != 14 {
 		t.Fatalf("registry has %d definitions", len(defs))
 	}
 	seenDef := map[string]bool{}
@@ -35,12 +35,12 @@ func TestRegistryWellFormed(t *testing.T) {
 			if c.Run == nil {
 				t.Fatalf("cell %s/%s has no body", d.Name, c.Name)
 			}
-			// Cells of paired-comparison experiments share the
-			// experiment seed so variant comparisons run identical
-			// workload streams; only the scale family (independent
-			// sizes, nothing paired) derives one stable seed per cell
-			// from its labels. Either way the seed is fixed at
-			// construction time, never at run time.
+			// Cells of paired-comparison experiments (the policies
+			// sweep included) share the experiment seed so variant
+			// comparisons run identical workload streams; only the
+			// scale family (independent sizes, nothing paired) derives
+			// one stable seed per cell from its labels. Either way the
+			// seed is fixed at construction time, never at run time.
 			want := uint64(1)
 			if d.Name == "scale" {
 				want = runner.DeriveSeed(1, d.Name, c.Name)

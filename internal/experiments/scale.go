@@ -14,6 +14,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/runner"
 	"repro/internal/topology"
+	"repro/pkg/search"
 )
 
 // The scale experiment family stresses the cascade engine itself at
@@ -50,6 +51,11 @@ type ScaleConfig struct {
 	Queries int
 	// TTL bounds each search.
 	TTL int
+	// Policy selects the forward policy by pkg/search registry name;
+	// empty means "flood" (the canonical cells). Stochastic families
+	// draw per-query streams derived from Seed, so any policy keeps the
+	// cell a pure function of its config.
+	Policy string
 	// Seed determines wiring, roles, holdings and the query stream.
 	Seed uint64
 }
@@ -276,16 +282,24 @@ func RunScale(cfg ScaleConfig) (*ScaleSummary, ScalePerfSample, error) {
 	}
 
 	classes := netsim.AssignClasses(root.Split().Intn, n)
-	cascade := &core.Cascade{
-		Graph: scaleGraph{net},
-		Content: core.ContentFunc(func(id topology.NodeID, key core.Key) bool {
+	policy := cfg.Policy
+	if policy == "" {
+		policy = "flood"
+	}
+	eng, err := search.New(
+		search.Over(scaleGraph{net}, core.ContentFunc(func(id topology.NodeID, key core.Key) bool {
 			_, ok := holdings[id][key]
 			return ok
-		}),
-		Forward: core.Flood{},
-		Delay: func(from, to topology.NodeID) float64 {
+		})),
+		search.WithPolicy(policy),
+		search.WithSeed(cfg.Seed),
+		search.WithTTL(cfg.TTL),
+		search.WithScratchHint(n),
+		search.WithDelay(func(from, to topology.NodeID) float64 {
 			return netsim.OneWayDelay(delayStream, classes[from], classes[to])
-		},
+		}))
+	if err != nil {
+		return nil, ScalePerfSample{}, err
 	}
 
 	sum := &ScaleSummary{
@@ -297,8 +311,8 @@ func RunScale(cfg ScaleConfig) (*ScaleSummary, ScalePerfSample, error) {
 		Queries:    cfg.Queries,
 	}
 	delays := make([]float64, 0, cfg.Queries)
-	scratch := core.NewScratch(n)
 	visitedSum := 0
+	ctx := context.Background()
 
 	var ms0, ms1 runtime.MemStats
 	runtime.ReadMemStats(&ms0)
@@ -306,16 +320,18 @@ func RunScale(cfg ScaleConfig) (*ScaleSummary, ScalePerfSample, error) {
 	for q := 0; q < cfg.Queries; q++ {
 		origin := clientIDs[queryStream.Intn(len(clientIDs))]
 		key := core.Key(zipf.Index(queryStream))
-		outcome := cascade.RunScratch(&core.Query{
-			ID:     core.QueryID(q + 1),
+		outcome, err := eng.Do(ctx, search.Query{
+			ID:     uint64(q + 1),
 			Key:    key,
 			Origin: origin,
-			TTL:    cfg.TTL,
-		}, scratch)
+		})
+		if err != nil {
+			return nil, ScalePerfSample{}, err
+		}
 		sum.Messages += outcome.Messages
 		sum.ReplyMessages += outcome.ReplyMessages
 		visitedSum += outcome.Visited
-		if outcome.Hit() {
+		if outcome.Found() {
 			sum.Hits++
 			delays = append(delays, outcome.FirstResultDelay)
 		}

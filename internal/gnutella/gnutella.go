@@ -24,6 +24,7 @@ import (
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/workload"
+	"repro/pkg/search"
 )
 
 // Mode selects the protocol variant.
@@ -185,13 +186,16 @@ type Sim struct {
 	online  []bool
 	ledgers []*stats.Ledger
 	// reqCount is the per-node issued-request counter driving θ.
-	reqCount  []int
-	updater   *core.SymmetricUpdater
-	trials    *core.TrialTracker
-	deepening *core.IterativeDeepening
-	cascade   *core.Cascade
-	scratch   *core.Scratch
-	met       *Metrics
+	reqCount []int
+	updater  *core.SymmetricUpdater
+	trials   *core.TrialTracker
+	// searcher is the pkg/search facade all queries go through; it owns
+	// the pooled cascade working memory.
+	searcher *search.Engine
+	// indexRadius is the configured local-index radius (0 without
+	// indices); searches run with TTL shortened by it.
+	indexRadius int
+	met         *Metrics
 
 	churnStreams []*rng.Stream
 	queryStreams []*rng.Stream
@@ -230,7 +234,6 @@ func New(cfg Config) *Sim {
 		topoStream:   root.Split(),
 		delayStream:  root.Split(),
 		resumeQuery:  make([]func(), cfg.Music.Users),
-		scratch:      core.NewScratch(cfg.Music.Users),
 		met: &Metrics{
 			Hits:    metrics.NewSeries(3600),
 			Queries: metrics.NewSeries(3600),
@@ -246,16 +249,30 @@ func New(cfg Config) *Sim {
 		Invite:   core.AlwaysAccept,
 		MaxSwaps: cfg.MaxSwaps,
 	}
-	s.cascade = &core.Cascade{
-		Graph:   (*simGraph)(s),
-		Content: core.ContentFunc(s.hasContent),
-		Forward: core.Flood{},
-		Delay:   s.sampleDelay,
-		OnMessage: func(_, _ topology.NodeID) {
+	// Assemble the search facade: the base options encode the paper's
+	// case-study parameters, the variant contributes the ablation knobs
+	// (forward policy, deepening, local indices).
+	opts := []search.Option{
+		search.WithDelay(s.sampleDelay),
+		search.WithForwardWhenHit(cfg.ForwardWhenHit),
+		search.WithScratchHint(cfg.Music.Users),
+		search.WithOnMessage(func(_, _ topology.NodeID) {
 			s.met.Meter.Count(netsim.MsgQuery, s.engine.Now(), 1)
-		},
+		}),
 	}
-	s.applyVariant()
+	opts = append(opts, s.variantOptions()...)
+	// Local indices answer for peers within the radius, so the flood
+	// runs that much shorter with unchanged coverage.
+	ttl := cfg.TTL - s.indexRadius
+	if ttl < 0 {
+		ttl = 0
+	}
+	opts = append(opts, search.WithTTL(ttl))
+	eng, err := search.New(search.Over((*simGraph)(s), core.ContentFunc(s.hasContent)), opts...)
+	if err != nil {
+		panic(err)
+	}
+	s.searcher = eng
 	return s
 }
 
@@ -403,20 +420,17 @@ func (s *Sim) issueQuery(id topology.NodeID, now float64) {
 	song := workload.SampleQuery(s.catalog, s.queryStreams[id], s.users[id])
 	s.met.Queries.Incr(now)
 	s.queryID++
-	q := &core.Query{
-		ID:             s.queryID,
-		Key:            song,
-		Origin:         id,
-		TTL:            s.cfg.TTL,
-		ForwardWhenHit: s.cfg.ForwardWhenHit,
-	}
-	outcome := s.runSearch(q)
+	outcome := s.runSearch(search.Query{
+		ID:     uint64(s.queryID),
+		Key:    song,
+		Origin: id,
+	})
 	s.emit(trace.Event{Kind: trace.KindQuery, Node: id, Key: uint64(song), N: int(outcome.Messages)})
-	if outcome.Hit() {
+	if outcome.Found() {
 		s.met.Hits.Incr(now)
 		s.emit(trace.Event{Kind: trace.KindHit, Node: id, Key: uint64(song),
-			Peer: outcome.Results[0].Holder, N: len(outcome.Results)})
-		s.met.TotalResults += uint64(len(outcome.Results))
+			Peer: outcome.Hits[0].Holder, N: len(outcome.Hits)})
+		s.met.TotalResults += uint64(len(outcome.Hits))
 		s.met.FirstResultDelay.Observe(outcome.FirstResultDelay)
 
 		// Send_Query: "update the statistics of each node in nlist".
@@ -424,8 +438,8 @@ func (s *Sim) issueQuery(id topology.NodeID, now float64) {
 		// weight of the answering link, R = total number of results of
 		// this query).
 		led := s.ledgers[id]
-		r := float64(len(outcome.Results))
-		for _, res := range outcome.Results {
+		r := float64(len(outcome.Hits))
+		for _, res := range outcome.Hits {
 			rec := led.Touch(res.Holder)
 			rec.Hits++
 			rec.Results++

@@ -1,12 +1,14 @@
 package gnutella
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/trace"
+	"repro/pkg/search"
 )
 
 // This file holds the ablation knobs of DESIGN.md: alternative update
@@ -141,28 +143,31 @@ type Variant struct {
 	UseLocalIndices bool
 }
 
-// applyVariant installs the variant's policies into a constructed Sim.
-// Called at the end of New.
-func (s *Sim) applyVariant() {
+// variantOptions translates the variant into pkg/search Engine options
+// and installs its non-search side effects (updater benefit, trial
+// tracking, the index radius). Called from New while assembling the
+// facade.
+func (s *Sim) variantOptions() []search.Option {
 	v := s.cfg.Variant
 	s.updater.Benefit = v.Benefit.benefit()
 
+	var opts []search.Option
 	switch v.Forward {
 	case ForwardFlood:
-		s.cascade.Forward = core.Flood{}
+		opts = append(opts, search.WithForward(core.Flood{}))
 	case ForwardDirected2:
-		s.cascade.Forward = core.DirectedBFT{K: 2, Benefit: v.Benefit.benefit()}
-		s.cascade.Ledger = func(id topology.NodeID) *stats.Ledger { return s.ledgers[id] }
+		// WithForward, not WithPolicy: the simulator's policy instances
+		// share its deterministic rng and ledger state.
+		opts = append(opts,
+			search.WithForward(core.DirectedBFT{K: 2, Benefit: v.Benefit.benefit()}),
+			search.WithLedgers(func(id topology.NodeID) *stats.Ledger { return s.ledgers[id] }))
 	case ForwardRandom2:
-		s.cascade.Forward = core.RandomK{K: 2, Intn: s.topoStream.Intn}
+		opts = append(opts, search.WithForward(core.RandomK{K: 2, Intn: s.topoStream.Intn}))
 	default:
 		panic(fmt.Sprintf("gnutella: unknown forward kind %d", v.Forward))
 	}
 	if len(v.IterativeDeepening) > 0 {
-		s.deepening = &core.IterativeDeepening{
-			Depths:       v.IterativeDeepening,
-			CycleTimeout: v.DeepeningTimeout,
-		}
+		opts = append(opts, search.WithDeepening(v.IterativeDeepening, v.DeepeningTimeout))
 	}
 	if v.TrialPeriodHours > 0 {
 		s.trials = &core.TrialTracker{
@@ -172,7 +177,7 @@ func (s *Sim) applyVariant() {
 		}
 	}
 	if v.UseLocalIndices {
-		s.cascade.Index = core.IndexFunc(func(at topology.NodeID, key core.Key) []topology.NodeID {
+		ix := core.IndexFunc(func(at topology.NodeID, key core.Key) []topology.NodeID {
 			var holders []topology.NodeID
 			for _, nb := range s.network.Out(at) {
 				if s.online[nb] && s.users[nb].Has(key) {
@@ -181,23 +186,21 @@ func (s *Sim) applyVariant() {
 			}
 			return holders
 		})
+		s.indexRadius = ix.Radius()
+		opts = append(opts, search.WithIndex(ix))
 	}
+	return opts
 }
 
-// runSearch executes one search according to the variant (plain
-// cascade or iterative deepening; local indices shorten the flood by
-// the index radius with unchanged coverage).
-func (s *Sim) runSearch(q *core.Query) *core.Outcome {
-	if s.cascade.Index != nil {
-		q.TTL -= s.cascade.Index.Radius()
-		if q.TTL < 0 {
-			q.TTL = 0
-		}
+// runSearch executes one search through the facade; the engine carries
+// the variant's whole configuration (policy, deepening schedule,
+// index-shortened TTL), so queries need only say what and from where.
+func (s *Sim) runSearch(q search.Query) search.Result {
+	out, err := s.searcher.Do(context.Background(), q)
+	if err != nil {
+		panic(err) // only malformed queries error; ours are well-formed
 	}
-	if s.deepening != nil {
-		return s.deepening.RunScratch(s.cascade, q, s.scratch)
-	}
-	return s.cascade.RunScratch(q, s.scratch)
+	return out
 }
 
 // applyUpdate dispatches the reconfiguration to the selected regime.

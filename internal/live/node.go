@@ -47,6 +47,15 @@ type Config struct {
 	// ReconfigThreshold is θ: reconfigure after this many searches
 	// (0 disables automatic reconfiguration).
 	ReconfigThreshold int
+	// Forward selects which neighbors receive a query at each hop; nil
+	// means core.Flood (the Gnutella baseline). Policies resolve from
+	// configuration strings via pkg/search's registry (PolicyByName) —
+	// cmd/dsearch's -policy flag does exactly that. The policy runs
+	// inside this node's single actor goroutine, so an instance need
+	// not be concurrency-safe — but for that same reason a stochastic
+	// instance (random-<k>'s rng stream) must not be shared across
+	// nodes of one process; give each node its own.
+	Forward core.ForwardPolicy
 }
 
 // SearchHit is one result of a live search.
@@ -90,6 +99,9 @@ func NewNode(cfg Config) *Node {
 	}
 	if cfg.Neighbors <= 0 || cfg.TTL < 1 {
 		panic(fmt.Sprintf("live: bad config %+v", cfg))
+	}
+	if cfg.Forward == nil {
+		cfg.Forward = core.Flood{}
 	}
 	return &Node{
 		cfg:   cfg,
@@ -213,7 +225,8 @@ func (n *Node) Search(key core.Key, timeout time.Duration) []SearchHit {
 		qid = core.QueryID(uint64(n.cfg.ID)<<32) | n.nextQID
 		st.pending[qid] = results
 		markSeen(st, qid) // our own query must not be re-processed
-		for _, nb := range st.neighbors {
+		q := core.Query{ID: qid, Key: key, Origin: n.cfg.ID, TTL: n.cfg.TTL}
+		for _, nb := range n.cfg.Forward.Select(&q, n.cfg.ID, topology.None, st.neighbors, st.ledger, nil) {
 			n.send(nb, Envelope{
 				Type: MsgQuery, From: n.cfg.ID,
 				QueryID: qid, Key: key, Origin: n.cfg.ID,
@@ -316,10 +329,10 @@ func (n *Node) handle(st *state, env Envelope) {
 		if env.Hops >= env.TTL {
 			return
 		}
-		for _, nb := range st.neighbors {
-			if nb == env.From || nb == env.Origin {
-				continue
-			}
+		// The forward policy picks the propagation targets; Flood keeps
+		// the baseline everyone-but-sender-and-origin semantics.
+		q := core.Query{ID: env.QueryID, Key: env.Key, Origin: env.Origin, TTL: env.TTL}
+		for _, nb := range n.cfg.Forward.Select(&q, n.cfg.ID, env.From, st.neighbors, st.ledger, nil) {
 			fwd := env
 			fwd.From = n.cfg.ID
 			fwd.Hops++

@@ -12,6 +12,7 @@
 package peerolap
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/workload"
+	"repro/pkg/search"
 )
 
 // Mode selects fixed random neighbors or adaptive reconfiguration.
@@ -142,19 +144,18 @@ func (m *Metrics) PeerHitRatio(from, to int) float64 {
 
 // Sim is one bound PeerOlap run.
 type Sim struct {
-	cfg     Config
-	engine  *sim.Engine
-	network *topology.Network
-	cube    *workload.Cube
-	regions []int
-	classes []netsim.BandwidthClass
-	caches  []*lru.LRU
-	ledgers []*stats.Ledger
-	queries []int // issued queries since last reconfiguration
-	met     *Metrics
-	benefit stats.Benefit
-	cascade *core.Cascade
-	scratch *core.Scratch
+	cfg      Config
+	engine   *sim.Engine
+	network  *topology.Network
+	cube     *workload.Cube
+	regions  []int
+	classes  []netsim.BandwidthClass
+	caches   []*lru.LRU
+	ledgers  []*stats.Ledger
+	queries  []int // issued queries since last reconfiguration
+	met      *Metrics
+	benefit  stats.Benefit
+	searcher *search.Engine
 
 	qStreams    []*rng.Stream
 	topoStream  *rng.Stream
@@ -175,7 +176,6 @@ func New(cfg Config) *Sim {
 		cfg:         cfg,
 		engine:      sim.New(),
 		network:     topology.NewNetwork(topology.PureAsymmetric, n, cfg.Neighbors, 0),
-		scratch:     core.NewScratch(n),
 		cube:        cube,
 		regions:     cube.AssignRegions(root.Split()),
 		classes:     netsim.AssignClasses(root.Split().Intn, n),
@@ -200,12 +200,16 @@ func New(cfg Config) *Sim {
 		s.caches[i] = lru.New(cfg.CacheChunks)
 		s.ledgers[i] = stats.NewLedger()
 	}
-	s.cascade = &core.Cascade{
-		Graph:   (*peerGraph)(s),
-		Content: core.ContentFunc(s.hasChunk),
-		Forward: core.Flood{},
-		Delay:   s.sampleDelay,
+	eng, err := search.New(search.Over((*peerGraph)(s), core.ContentFunc(s.hasChunk)),
+		search.WithPolicy("flood"),
+		search.WithDelay(s.sampleDelay),
+		search.WithTTL(cfg.SearchTTL),
+		search.WithMaxResults(1),
+		search.WithScratchHint(n))
+	if err != nil {
+		panic(err)
 	}
+	s.searcher = eng
 	return s
 }
 
@@ -274,21 +278,21 @@ func (s *Sim) issueQuery(id topology.NodeID, now float64) {
 			continue
 		}
 		s.queryID++
-		q := &core.Query{
-			ID:         s.queryID,
-			Key:        ch,
-			Origin:     id,
-			TTL:        s.cfg.SearchTTL,
-			MaxResults: 1,
+		outcome, err := s.searcher.Do(context.Background(), search.Query{
+			ID:     uint64(s.queryID),
+			Key:    ch,
+			Origin: id,
+			OnMessage: func(_, _ topology.NodeID) {
+				s.met.Meter.Count(netsim.MsgQuery, now, 1)
+			},
+		})
+		if err != nil {
+			panic(err)
 		}
-		s.cascade.OnMessage = func(_, _ topology.NodeID) {
-			s.met.Meter.Count(netsim.MsgQuery, now, 1)
-		}
-		outcome := s.cascade.RunScratch(q, s.scratch)
 		warehouse := s.costStream.BoundedNormal(s.cfg.WarehouseCostMean, s.cfg.WarehouseCostMean/4,
 			s.cfg.WarehouseCostMean/2, s.cfg.WarehouseCostMean*2)
-		if outcome.Hit() {
-			res := outcome.Results[0]
+		if outcome.Found() {
+			res := outcome.Hits[0]
 			peerCost := res.Delay + s.costStream.BoundedNormal(s.cfg.PeerCostMean, s.cfg.PeerCostMean/4,
 				s.cfg.PeerCostMean/2, s.cfg.PeerCostMean*2)
 			totalCost += peerCost

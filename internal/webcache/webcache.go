@@ -11,6 +11,7 @@
 package webcache
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -23,6 +24,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/workload"
+	"repro/pkg/search"
 )
 
 // Mode selects fixed random neighbors (baseline) or the framework's
@@ -161,8 +163,7 @@ type Sim struct {
 	reqStreams  []*rng.Stream
 	topoStream  *rng.Stream
 	delayStream *rng.Stream
-	cascade     *core.Cascade
-	scratch     *core.Scratch
+	searcher    *search.Engine
 }
 
 // New builds a run without starting it.
@@ -177,7 +178,6 @@ func New(cfg Config) *Sim {
 		cfg:         cfg,
 		engine:      sim.New(),
 		network:     topology.NewNetwork(topology.PureAsymmetric, n, cfg.Neighbors, 0),
-		scratch:     core.NewScratch(n),
 		space:       space,
 		interests:   space.AssignInterests(root.Split()),
 		classes:     netsim.AssignClasses(root.Split().Intn, n),
@@ -202,22 +202,31 @@ func New(cfg Config) *Sim {
 		s.digests[i] = digest.NewBloom(cfg.CacheCapacity, 0.01)
 		s.ledgers[i] = stats.NewLedger()
 	}
-	forward := core.ForwardPolicy(core.Flood{})
+	// Policies are registry-selected by name — the digest-guided family
+	// gets its oracle via WithDigest. No fallback: a proxy that digests
+	// say cannot help is skipped; the origin server is the safety net.
+	policy := search.WithPolicy("flood")
+	var digestOpts []search.Option
 	if cfg.UseDigests {
-		forward = core.DigestGuided{
-			MayHold: func(id topology.NodeID, key core.Key) bool {
+		policy = search.WithPolicy("digest-guided")
+		digestOpts = append(digestOpts, search.WithDigest(
+			func(id topology.NodeID, key core.Key) bool {
 				return s.digests[id].Contains(key)
-			},
-			// No fallback: a proxy that digests say cannot help is
-			// skipped; the origin server is the safety net.
-		}
+			}, nil))
 	}
-	s.cascade = &core.Cascade{
-		Graph:   (*proxyGraph)(s),
-		Content: core.ContentFunc(s.hasPage),
-		Forward: forward,
-		Delay:   s.sampleDelay,
+	eng, err := search.New(search.Over((*proxyGraph)(s), core.ContentFunc(s.hasPage)),
+		append(digestOpts,
+			policy,
+			search.WithDelay(s.sampleDelay),
+			// "most Squid implementations define the number of hops to
+			// be 1"; the first result terminates the search.
+			search.WithTTL(1),
+			search.WithMaxResults(1),
+			search.WithScratchHint(n))...)
+	if err != nil {
+		panic(err)
 	}
+	s.searcher = eng
 	return s
 }
 
@@ -300,29 +309,29 @@ func (s *Sim) handleRequest(id topology.NodeID, now float64) {
 		return
 	}
 
-	q := &core.Query{
-		ID:         core.QueryID(uint64(id)<<40 | uint64(s.met.Requests.Total())),
-		Key:        page,
-		Origin:     id,
-		TTL:        1, // "most Squid implementations define the number of hops to be 1"
-		MaxResults: 1, // first result terminates the search
-	}
 	// Track which neighbors this query actually probed: ICP-style
 	// cooperation answers every probe with HIT or MISS, and both
 	// observations feed the benefit statistics.
 	var probed []topology.NodeID
-	s.cascade.OnMessage = func(from, to topology.NodeID) {
-		s.met.Meter.Count(netsim.MsgQuery, now, 1)
-		if from == id {
-			probed = append(probed, to)
-		}
+	outcome, err := s.searcher.Do(context.Background(), search.Query{
+		ID:     uint64(id)<<40 | uint64(s.met.Requests.Total()),
+		Key:    page,
+		Origin: id,
+		OnMessage: func(from, to topology.NodeID) {
+			s.met.Meter.Count(netsim.MsgQuery, now, 1)
+			if from == id {
+				probed = append(probed, to)
+			}
+		},
+	})
+	if err != nil {
+		panic(err)
 	}
-	outcome := s.cascade.RunScratch(q, s.scratch)
 
 	led := s.ledgers[id]
 	holder := topology.None
-	if outcome.Hit() {
-		holder = outcome.Results[0].Holder
+	if outcome.Found() {
+		holder = outcome.Hits[0].Holder
 	}
 	for _, nb := range probed {
 		rec := led.Touch(nb)
@@ -330,8 +339,8 @@ func (s *Sim) handleRequest(id topology.NodeID, now float64) {
 		rec.LatencySum += 2 * s.sampleDelay(id, nb) // probe round trip
 		rec.LastSeen = now
 	}
-	if outcome.Hit() {
-		res := outcome.Results[0]
+	if outcome.Found() {
+		res := outcome.Hits[0]
 		s.met.NeighborHits.Incr(now)
 		// Fetch costs one more round trip to the serving neighbor.
 		fetch := 2 * s.sampleDelay(id, res.Holder)
@@ -388,14 +397,17 @@ func (s *Sim) explore(id topology.NodeID, now float64) {
 	if len(probes) > s.cfg.ExploreProbes {
 		probes = probes[len(probes)-s.cfg.ExploreProbes:]
 	}
-	s.cascade.OnMessage = func(_, _ topology.NodeID) {
-		s.met.Meter.Count(netsim.MsgExplore, now, 1)
-	}
-	out := s.cascade.ExploreScratch(&core.Exploration{
+	out, err := s.searcher.Explore(context.Background(), search.Exploration{
 		Keys:   append([]workload.PageID(nil), probes...),
 		Origin: id,
 		TTL:    s.cfg.ExploreTTL,
-	}, s.scratch)
+		OnMessage: func(_, _ topology.NodeID) {
+			s.met.Meter.Count(netsim.MsgExplore, now, 1)
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
 	core.RecordFindings(s.ledgers[id], out, now, func(topology.NodeID) float64 { return 1 })
 }
 

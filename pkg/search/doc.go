@@ -1,0 +1,43 @@
+// Package search is the public, stable API of this repository: a
+// pooled, context-aware, streaming query facade over the cascade core
+// that reproduces conf_ipps_BakirasKLN03's generic search framework.
+//
+// Everything below pkg/search lives in internal/ packages; this package
+// is the supported way in. An Engine is constructed once per network
+// with functional options and is safe for concurrent use:
+//
+//	eng, err := search.New(net,
+//	    search.WithPolicy("directed-bft-3"),
+//	    search.WithTTL(7))
+//
+// Three call shapes cover the workloads:
+//
+//   - Do: one-shot — run a search to completion, return the Result.
+//   - Stream: incremental — an iter.Seq2 that yields each Hit the
+//     moment its reply reaches the origin; break to stop the cascade.
+//   - Batch: fan-out — many queries over a bounded worker group with
+//     per-query deterministic seeds, byte-identical to sequential Do
+//     at any worker count.
+//
+// Every call accepts a context.Context; cancellation is checked
+// between cascade hops, so even 100k-node floods stop promptly.
+//
+// # Policies
+//
+// Forward policies — which neighbors receive a query at each hop — are
+// selected by name through a registry that round-trips every built-in
+// core.ForwardPolicy ("flood", "random-<k>", "directed-bft-<k>",
+// "digest-guided"), making them config- and flag-selectable;
+// applications register their own families with RegisterPolicy.
+// WithForward bypasses the registry for policy instances carrying
+// shared state.
+//
+// # Pooling
+//
+// The Engine owns a sync.Pool of core.Scratch (the cascade's flat-slice
+// working memory), so a steady-state query through the facade costs the
+// same small constant number of heap allocations as the expert-only
+// core.RunScratch path, while returned Results are always caller-owned
+// — no aliasing contract to misuse. BenchmarkEnginePooled, gated in CI
+// by cmd/perfcheck, holds this property.
+package search

@@ -1,0 +1,106 @@
+package search_test
+
+import (
+	"context"
+	"fmt"
+
+	"repro/pkg/search"
+)
+
+// ringNet is the doc-example network: ten repositories in a ring,
+// where node 5 holds the hot item.
+type ringNet struct{}
+
+const hotItem search.Key = 42
+
+func (ringNet) Out(id search.NodeID) []search.NodeID {
+	return []search.NodeID{(id + 1) % 10, (id + 9) % 10}
+}
+func (ringNet) Online(search.NodeID) bool { return true }
+func (ringNet) HasContent(id search.NodeID, key search.Key) bool {
+	return id == 5 && key == hotItem
+}
+
+// Example constructs an Engine over a ten-node ring and runs one
+// search: the hot item sits five hops from the origin.
+func Example() {
+	eng, err := search.New(ringNet{},
+		search.WithPolicy("flood"),
+		search.WithTTL(7),
+		search.WithDelay(func(_, _ search.NodeID) float64 { return 0.1 }))
+	if err != nil {
+		panic(err)
+	}
+	res, err := eng.Do(context.Background(), search.Query{Key: hotItem, Origin: 0})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%d result(s), holder %d, %d hops, first after %.0f ms\n",
+		len(res.Hits), res.Hits[0].Holder, res.Hits[0].Hops, res.FirstResultDelay*1000)
+	// Output:
+	// 1 result(s), holder 5, 5 hops, first after 1000 ms
+}
+
+// ExampleEngine_Stream consumes hits incrementally; breaking out of
+// the loop stops the cascade at the next hop.
+func ExampleEngine_Stream() {
+	eng, err := search.New(ringNet{}, search.WithTTL(7))
+	if err != nil {
+		panic(err)
+	}
+	for hit, err := range eng.Stream(context.Background(), search.Query{Key: hotItem, Origin: 0}) {
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("hit: node %d at %d hops\n", hit.Holder, hit.Hops)
+		break // first answer is enough; the flood stops here
+	}
+	// Output:
+	// hit: node 5 at 5 hops
+}
+
+// ExampleEngine_Batch fans a query list out over a bounded worker
+// group; results come back in input order, identical at any worker
+// count.
+func ExampleEngine_Batch() {
+	eng, err := search.New(ringNet{},
+		search.WithTTL(7),
+		search.WithBatchWorkers(4))
+	if err != nil {
+		panic(err)
+	}
+	queries := []search.Query{
+		{ID: 1, Key: hotItem, Origin: 0},
+		{ID: 2, Key: hotItem, Origin: 4},
+		{ID: 3, Key: 777, Origin: 0}, // nobody holds this
+	}
+	results, err := eng.Batch(context.Background(), queries)
+	if err != nil {
+		panic(err)
+	}
+	for i, r := range results {
+		fmt.Printf("query %d: found=%v in %d messages\n", queries[i].ID, r.Found(), r.Messages)
+	}
+	// Output:
+	// query 1: found=true in 10 messages
+	// query 2: found=true in 8 messages
+	// query 3: found=false in 11 messages
+}
+
+// ExamplePolicyByName resolves forward policies from configuration
+// strings — every built-in policy name round-trips.
+func ExamplePolicyByName() {
+	for _, name := range []string{"flood", "directed-bft-3"} {
+		p, err := search.PolicyByName(name, search.PolicyEnv{})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(p.Name())
+	}
+	_, err := search.PolicyByName("carrier-pigeon", search.PolicyEnv{})
+	fmt.Println("err:", err != nil)
+	// Output:
+	// flood
+	// directed-bft-3
+	// err: true
+}

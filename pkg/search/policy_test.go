@@ -1,0 +1,173 @@
+package search_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/pkg/search"
+)
+
+// fullEnv satisfies every built-in family's dependencies.
+func fullEnv() search.PolicyEnv {
+	return search.PolicyEnv{
+		Intn:    rng.New(1).Intn,
+		Benefit: stats.Cumulative{},
+		MayHold: func(search.NodeID, search.Key) bool { return true },
+	}
+}
+
+// TestPolicyRoundTrip: every built-in ForwardPolicy's Name() resolves
+// back to a policy with the same name — the property that makes
+// policies config- and flag-selectable.
+func TestPolicyRoundTrip(t *testing.T) {
+	builtins := []core.ForwardPolicy{
+		core.Flood{},
+		core.RandomK{K: 2, Intn: rng.New(1).Intn},
+		core.RandomK{K: 7, Intn: rng.New(1).Intn},
+		core.DirectedBFT{K: 2, Benefit: stats.Cumulative{}},
+		core.DirectedBFT{K: 13, Benefit: stats.HitCount{}},
+		core.DigestGuided{MayHold: func(search.NodeID, search.Key) bool { return true }},
+	}
+	for _, p := range builtins {
+		name := p.Name()
+		got, err := search.PolicyByName(name, fullEnv())
+		if err != nil {
+			t.Fatalf("PolicyByName(%q): %v", name, err)
+		}
+		if got.Name() != name {
+			t.Errorf("PolicyByName(%q).Name() = %q, want round-trip", name, got.Name())
+		}
+	}
+}
+
+func TestPolicyByNameUnknown(t *testing.T) {
+	for _, name := range []string{"", "gossip", "flood-2", "random-x", "random--3", "directed-bft-0"} {
+		if _, err := search.PolicyByName(name, fullEnv()); err == nil {
+			t.Errorf("PolicyByName(%q) succeeded, want error", name)
+		}
+	}
+}
+
+// TestPolicyByNameBareParameterized: a parameterized family's bare name
+// errors with a hint rather than building a degenerate K=0 policy.
+func TestPolicyByNameBareParameterized(t *testing.T) {
+	for _, name := range []string{"random", "directed-bft"} {
+		_, err := search.PolicyByName(name, fullEnv())
+		if err == nil || !strings.Contains(err.Error(), "parameter") {
+			t.Errorf("PolicyByName(%q) = %v, want parameter-required error", name, err)
+		}
+	}
+}
+
+// TestPolicyMissingEnv: families with required dependencies fail
+// cleanly when the environment lacks them.
+func TestPolicyMissingEnv(t *testing.T) {
+	if _, err := search.PolicyByName("random-2", search.PolicyEnv{}); err == nil {
+		t.Error("random-2 without Intn succeeded, want error")
+	}
+	if _, err := search.PolicyByName("digest-guided", search.PolicyEnv{}); err == nil {
+		t.Error("digest-guided without MayHold succeeded, want error")
+	}
+}
+
+// TestPolicyDefaults: directed-bft defaults its benefit to Cumulative,
+// and digest-guided threads the fallback through.
+func TestPolicyDefaults(t *testing.T) {
+	p, err := search.PolicyByName("directed-bft-3", search.PolicyEnv{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := p.(core.DirectedBFT); !ok || d.K != 3 || d.Benefit == nil {
+		t.Errorf("directed-bft-3 resolved to %#v, want K=3 with default benefit", p)
+	}
+	p, err = search.PolicyByName("digest-guided", search.PolicyEnv{
+		MayHold:  func(search.NodeID, search.Key) bool { return false },
+		Fallback: core.Flood{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := p.(core.DigestGuided); !ok || d.Fallback == nil {
+		t.Errorf("digest-guided resolved to %#v, want fallback installed", p)
+	}
+}
+
+func TestRegisterPolicyDuplicatePanics(t *testing.T) {
+	spec := search.PolicySpec{
+		New: func(int, search.PolicyEnv) (core.ForwardPolicy, error) { return core.Flood{}, nil },
+	}
+	search.RegisterPolicy("test-dup-policy", spec)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate RegisterPolicy did not panic")
+		}
+	}()
+	search.RegisterPolicy("test-dup-policy", spec)
+}
+
+func TestRegisterPolicyInvalidPanics(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec search.PolicySpec
+	}{
+		{"", search.PolicySpec{New: func(int, search.PolicyEnv) (core.ForwardPolicy, error) { return core.Flood{}, nil }}},
+		{"test-nil-ctor", search.PolicySpec{}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("RegisterPolicy(%q) with invalid spec did not panic", tc.name)
+				}
+			}()
+			search.RegisterPolicy(tc.name, tc.spec)
+		}()
+	}
+}
+
+// TestPolicyNames: families appear sorted, with parameter placeholders.
+func TestPolicyNames(t *testing.T) {
+	names := search.PolicyNames()
+	want := map[string]bool{
+		"flood": false, "random-<k>": false, "directed-bft-<k>": false, "digest-guided": false,
+	}
+	for _, n := range names {
+		if _, ok := want[n]; ok {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("PolicyNames() = %v, missing %q", names, n)
+		}
+	}
+}
+
+// TestEngineWithPolicyResolvesRegistry: WithPolicy surfaces resolution
+// errors at New, not per query.
+func TestEngineWithPolicyResolvesRegistry(t *testing.T) {
+	net := newTestNet(16, 3)
+	if _, err := search.New(net, search.WithPolicy("no-such-policy")); err == nil {
+		t.Error("New(WithPolicy(unknown)) succeeded, want error")
+	}
+	if _, err := search.New(net, search.WithPolicy("digest-guided")); err == nil {
+		t.Error("New(WithPolicy(digest-guided)) without WithDigest succeeded, want error")
+	}
+	eng, err := search.New(net, search.WithPolicy("directed-bft-2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Policy().Name(); got != "directed-bft-2" {
+		t.Errorf("engine policy = %q, want directed-bft-2", got)
+	}
+	// Stochastic families are per-query: no shared instance to expose.
+	eng, err = search.New(net, search.WithPolicy("random-2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Policy() != nil {
+		t.Error("stochastic policy exposed a shared instance")
+	}
+}
