@@ -21,8 +21,10 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/eventq"
 	"repro/internal/experiments"
 	"repro/internal/runner"
+	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/pkg/search"
 )
@@ -180,11 +182,12 @@ func (b *benchNet) HasContent(id topology.NodeID, key core.Key) bool {
 }
 
 // BenchmarkEnginePooled proves the pkg/search facade adds ~0 allocs/op
-// over the expert-only core.RunScratch path it wraps: both
+// over the expert-only core.RunScratch path it wraps: all
 // sub-benchmarks drive identical TTL-4 floods of a 10k-node network,
 // one query per op. "raw" holds one caller-managed Scratch; "engine"
 // goes through Engine.Do (scratch pool, context plumbing, caller-owned
-// results). cmd/perfcheck gates both entries' allocs/op in CI.
+// results); "snapshot" is "engine" over the frozen CSR fast path
+// (WithSnapshot). cmd/perfcheck gates the entries' allocs/op in CI.
 func BenchmarkEnginePooled(b *testing.B) {
 	const n = 10_000
 	net := newBenchNet(n)
@@ -201,6 +204,29 @@ func BenchmarkEnginePooled(b *testing.B) {
 		ctx := context.Background()
 		// Warm the scratch pool to its high-water marks so allocs/op
 		// reflects the steady state, as in the raw path.
+		if _, err := eng.Do(ctx, search.Query{Key: 2, Origin: 0}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		hits := 0
+		for i := 0; i < b.N; i++ {
+			origin, key := query(i)
+			res, err := eng.Do(ctx, search.Query{ID: uint64(i), Key: key, Origin: origin})
+			if err != nil {
+				b.Fatal(err)
+			}
+			hits += len(res.Hits)
+		}
+		if hits != b.N {
+			b.Fatalf("%d hits over %d queries, want one each", hits, b.N)
+		}
+	})
+	b.Run("snapshot", func(b *testing.B) {
+		eng, err := search.New(net, search.WithTTL(4), search.WithSnapshot(n))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
 		if _, err := eng.Do(ctx, search.Query{Key: 2, Origin: 0}); err != nil {
 			b.Fatal(err)
 		}
@@ -241,6 +267,87 @@ func BenchmarkEnginePooled(b *testing.B) {
 	})
 }
 
+// indirectFlood is flood behind a type the cascade cannot devirtualize,
+// reproducing the generic ForwardPolicy.Select path of earlier PRs.
+type indirectFlood struct{}
+
+func (indirectFlood) Select(q *core.Query, _, from topology.NodeID, out []topology.NodeID, _ *stats.Ledger, dst []topology.NodeID) []topology.NodeID {
+	for _, n := range out {
+		if n == from || n == q.Origin {
+			continue
+		}
+		dst = append(dst, n)
+	}
+	return dst
+}
+func (indirectFlood) Name() string { return "flood-indirect" }
+
+// BenchmarkCascadeHotPath is the PR's headline differential: identical
+// TTL-4 flood cascades over a 10k-node network on the legacy hot path
+// (interface-dispatched graph, generic Select, binary-heap event queue)
+// versus the optimized one (CSR snapshot, devirtualized flood, monotone
+// bucketed queue), under both the zero-delay and a netsim-like delay
+// regime. The acceptance bar is fast >= 2x legacy on ns/op; outcomes
+// are byte-identical by the differential tests in internal/core.
+func BenchmarkCascadeHotPath(b *testing.B) {
+	const n = 10_000
+	net := newBenchNet(n)
+	csr, err := topology.FreezeView(n, net.Out)
+	if err != nil {
+		b.Fatal(err)
+	}
+	netsimDelay := func(from, to topology.NodeID) float64 {
+		// Deterministic stand-in for netsim.OneWayDelay: varied enough
+		// to exercise the bucketed queue, free of rng stream state.
+		return 0.070 + float64((int(from)*31+int(to)*17)%29)/100
+	}
+	paths := []struct {
+		name      string
+		graph     core.Graph
+		forward   core.ForwardPolicy
+		forceHeap bool
+	}{
+		{"legacy", net, indirectFlood{}, true},
+		{"fast", csr, core.Flood{}, false},
+	}
+	delays := []struct {
+		name string
+		fn   core.DelayFunc
+	}{
+		{"zerodelay", nil},
+		{"netsim", netsimDelay},
+	}
+	for _, d := range delays {
+		for _, p := range paths {
+			b.Run(d.name+"/"+p.name, func(b *testing.B) {
+				eventq.ForceHeapQueue = p.forceHeap
+				defer func() { eventq.ForceHeapQueue = false }()
+				cascade := &core.Cascade{
+					Graph:   p.graph,
+					Content: core.ContentFunc(net.HasContent),
+					Forward: p.forward,
+					Delay:   d.fn,
+				}
+				scratch := core.NewScratch(n)
+				cascade.RunScratch(&core.Query{Key: 2, Origin: 0, TTL: 4}, scratch)
+				b.ResetTimer()
+				hits := 0
+				for i := 0; i < b.N; i++ {
+					origin := topology.NodeID((i * 13) % n)
+					key := core.Key((int(origin) + 2) % n)
+					out := cascade.RunScratch(&core.Query{
+						ID: core.QueryID(i), Key: key, Origin: origin, TTL: 4,
+					}, scratch)
+					hits += len(out.Results)
+				}
+				if hits != b.N {
+					b.Fatalf("%d hits over %d queries, want one each", hits, b.N)
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkCascade100k drives the scale family's largest cell: 2,000
 // queries over a 100k-node client/provider/bystander network through
 // the facade's pooled engine. The custom metrics isolate the query
@@ -249,6 +356,24 @@ func BenchmarkEnginePooled(b *testing.B) {
 func BenchmarkCascade100k(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		cfg := experiments.DefaultScaleConfig(100_000, 2_000, uint64(i+1))
+		sum, sample, err := experiments.RunScale(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(sample.Events)/sample.WallSeconds, "events/sec")
+		b.ReportMetric(float64(sample.Allocs)/float64(sample.Queries), "allocs/query")
+		b.ReportMetric(sum.MsgsPerQuery, "msgs/query")
+		b.ReportMetric(sum.HitRate, "hit-rate")
+	}
+}
+
+// BenchmarkCascade1M is BenchmarkCascade100k at the scale family's new
+// ceiling: a 1,000,000-node network, 2,000 queries per op. The network
+// build and CSR freeze dominate ns/op; events/sec isolates the query
+// loop.
+func BenchmarkCascade1M(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultScaleConfig(1_000_000, 2_000, uint64(i+1))
 		sum, sample, err := experiments.RunScale(cfg)
 		if err != nil {
 			b.Fatal(err)

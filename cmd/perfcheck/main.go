@@ -8,15 +8,18 @@
 //
 //	go run ./cmd/perfcheck -in bench.out -out BENCH_ci.json            # parse only
 //	go run ./cmd/perfcheck -in bench.out -baseline BENCH_baseline.json # gate only
+//	go run ./cmd/perfcheck -in bench.out -baseline BENCH_baseline.json -update
 //
 // The gate fails (exit 1) when any baseline benchmark worsens its
 // allocs/op by more than -max-ratio (default 2), disappears, or drops
-// the metric. Wall-clock metrics (ns/op) are reported but never gated:
-// CI machines are too noisy for time thresholds, while allocation
-// counts are schedule-independent and stable.
+// the metric. Wall-clock metrics (ns/op) are *reported* — a per-entry
+// baseline→current delta table on stderr — but never gated: CI
+// machines are too noisy for time thresholds, while allocation counts
+// are schedule-independent and stable.
 //
 // To refresh the baseline after an intentional change, run with
-// -out BENCH_baseline.json and commit the file.
+// -update (rewrites the -baseline file from the current run, skipping
+// the gate) and commit the file.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"repro/internal/perf"
 )
@@ -35,6 +39,7 @@ func main() {
 		baseline = flag.String("baseline", "", "checked-in baseline BENCH json to gate against")
 		maxRatio = flag.Float64("max-ratio", 2, "fail when current allocs/op exceeds baseline*ratio")
 		metric   = flag.String("metric", "allocs/op", "comma-free metric name to gate on")
+		update   = flag.Bool("update", false, "rewrite the -baseline file from this run instead of gating")
 	)
 	flag.Parse()
 
@@ -63,21 +68,67 @@ func main() {
 		fmt.Fprintf(os.Stderr, "perfcheck: wrote %s\n", *out)
 	}
 
-	if *baseline != "" {
-		base, err := perf.Read(*baseline)
-		if err != nil {
+	if *baseline == "" {
+		if *update {
+			fatal(fmt.Errorf("perfcheck: -update needs -baseline to know which file to rewrite"))
+		}
+		return
+	}
+	if *update {
+		if err := rep.Write(*baseline); err != nil {
 			fatal(err)
 		}
-		regs := perf.Compare(base, rep, *maxRatio, *metric)
-		if len(regs) > 0 {
-			fmt.Fprintf(os.Stderr, "perfcheck: %d %s regression(s) beyond %.1fx:\n", len(regs), *metric, *maxRatio)
-			for _, g := range regs {
-				fmt.Fprintf(os.Stderr, "  %s\n", g)
-			}
-			os.Exit(1)
+		fmt.Fprintf(os.Stderr, "perfcheck: baseline %s rewritten from this run (no gate)\n", *baseline)
+		return
+	}
+	base, err := perf.Read(*baseline)
+	if err != nil {
+		fatal(err)
+	}
+	reportTimeDeltas(base, rep)
+	regs := perf.Compare(base, rep, *maxRatio, *metric)
+	if len(regs) > 0 {
+		fmt.Fprintf(os.Stderr, "perfcheck: %d %s regression(s) beyond %.1fx:\n", len(regs), *metric, *maxRatio)
+		for _, g := range regs {
+			fmt.Fprintf(os.Stderr, "  %s\n", g)
 		}
-		fmt.Fprintf(os.Stderr, "perfcheck: %s within %.1fx of baseline for all %d entries\n",
-			*metric, *maxRatio, len(base.Entries))
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "perfcheck: %s within %.1fx of baseline for all %d entries\n",
+		*metric, *maxRatio, len(base.Entries))
+}
+
+// reportTimeDeltas prints the per-entry ns/op movement against the
+// baseline — informational only, never gated (wall-clock is machine-
+// and schedule-dependent; the trajectory matters, not a threshold).
+func reportTimeDeltas(base, cur *perf.Report) {
+	dst := os.Stderr
+	fmt.Fprintln(dst, "perfcheck: ns/op vs baseline (reported, never gated):")
+	names := make([]string, 0, len(base.Entries))
+	for _, e := range base.Entries {
+		names = append(names, e.Name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		bv, ok := base.Get(name).Metric("ns/op")
+		if !ok {
+			continue
+		}
+		ce := cur.Get(name)
+		if ce == nil {
+			fmt.Fprintf(dst, "  %-40s %12.0f -> (missing)\n", name, bv)
+			continue
+		}
+		cv, ok := ce.Metric("ns/op")
+		if !ok {
+			fmt.Fprintf(dst, "  %-40s %12.0f -> (no ns/op)\n", name, bv)
+			continue
+		}
+		ratio := 0.0
+		if bv > 0 {
+			ratio = cv / bv
+		}
+		fmt.Fprintf(dst, "  %-40s %12.0f -> %12.0f  (%.2fx)\n", name, bv, cv, ratio)
 	}
 }
 

@@ -8,9 +8,15 @@
 // Experiments: fig1 fig2 fig3a fig3b all (plus the single-table
 // aliases fig1a fig1b fig2a fig2b), the ablations: directed iterdeep
 // localindex asym benefit drift webcache peerolap, and the engine
-// stress families: scale (1k/10k/100k-node cascade sweeps) and
-// policies (the pkg/search forward-policy registry swept over one
-// network; -list-policies prints the registry).
+// stress families: scale (1k/10k/100k/1M-node cascade sweeps plus the
+// CSR re-freeze cell) and policies (the pkg/search forward-policy
+// registry swept over one network; -list-policies prints the
+// registry).
+//
+// -cpuprofile/-memprofile write pprof profiles of the selected run, so
+// hot-path work is measurable without editing code:
+//
+//	repro -exp scale -workers 1 -cpuprofile cpu.pprof
 //
 // All selected experiments decompose into independent simulation cells
 // that shard across one bounded worker pool (internal/runner). Results
@@ -29,6 +35,8 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -38,6 +46,12 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run is main behind an exit code so the profiling defers below fire
+// before the process exits (os.Exit skips deferred functions).
+func run() int {
 	var (
 		exp      = flag.String("exp", "all", "experiment: fig1a fig1b fig2a fig2b fig3a fig3b all directed iterdeep localindex asym benefit drift webcache peerolap scale policies")
 		only     = flag.String("only", "", "comma-separated experiment subset (overrides -exp)")
@@ -50,26 +64,63 @@ func main() {
 		runName  = flag.String("name", "", "artifact run name (default <exp>-<scale>-s<seed>)")
 		progress = flag.Bool("progress", false, "report per-cell progress and ETA on stderr")
 		policies = flag.Bool("list-policies", false, "list the pkg/search forward-policy registry and exit")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run here")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile (post-run) here")
 	)
 	flag.Parse()
+
+	// Profiling hooks: the hot-path work of this repository is driven
+	// through repro, so make it measurable without editing code.
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "cpuprofile: %s\n", *cpuProf)
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "repro:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the live set before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "repro:", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "memprofile: %s\n", *memProf)
+		}()
+	}
 
 	if *policies {
 		// The policies experiment sweeps these; cmd/dsearch selects them
 		// with -policy. One registry backs both.
 		fmt.Println(strings.Join(search.PolicyNames(), "\n"))
-		return
+		return 0
 	}
 
 	sc, err := experiments.ParseScale(*scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 
 	defs, label, err := selectDefs(*exp, *only, sc, *seed)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
 	}
 
 	// Aliases of one canonical experiment (fig1a and fig1b both resolve
@@ -129,7 +180,7 @@ func main() {
 		}, results)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "repro:", err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Fprintf(os.Stderr, "artifacts: %s\n", dir)
 
@@ -151,14 +202,14 @@ func main() {
 			}
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "repro: %s perf: %v\n", j.def.Name, err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
 
 	if runErr != nil {
 		fmt.Fprintln(os.Stderr, "repro: run interrupted:", runErr)
-		os.Exit(1)
+		return 1
 	}
 
 	exitCode := 0
@@ -179,7 +230,7 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "[%s scale, seed %d, %d cells, %.1fs]\n",
 		sc, *seed, len(cells), elapsed.Seconds())
-	os.Exit(exitCode)
+	return exitCode
 }
 
 // selectDefs resolves the -exp/-only flags to experiment definitions

@@ -90,13 +90,24 @@ func (c *Cascade) RunScratch(q *Query, s *Scratch) *Outcome {
 		s = NewScratch(0)
 	}
 	delay := c.Delay
-	if delay == nil {
-		delay = ZeroDelay
+	noDelay := delay == nil
+	if noDelay {
+		delay = ZeroDelay // only for indexResults; the loops below skip it
 	}
 	ledger := func(topology.NodeID) *stats.Ledger { return nil }
 	if c.Ledger != nil {
 		ledger = c.Ledger
 	}
+
+	// Devirtualized fast paths: when the topology view is a frozen
+	// *topology.CSR, neighbor lookup is an inlined slice expression and
+	// the per-arrival Online call disappears (snapshots are fully
+	// online by contract); when the policy is the common Flood, the
+	// dynamic Select call and the intermediate fwd buffer are replaced
+	// by a direct loop over the out-slice. Both paths send exactly the
+	// messages the generic path would, in the same order.
+	csr, fastGraph := c.Graph.(*topology.CSR)
+	_, fastFlood := c.Forward.(Flood)
 
 	s.begin()
 	out := &Outcome{Results: s.results[:0]}
@@ -119,7 +130,27 @@ func (c *Cascade) RunScratch(q *Query, s *Scratch) *Outcome {
 		if c.OnMessage != nil {
 			c.OnMessage(from, to)
 		}
-		s.heap.push(t+delay(from, to), to, from, hops)
+		if !noDelay {
+			t += delay(from, to)
+		}
+		s.pushArrival(t, to, from, hops)
+	}
+	// forward propagates from node `at` (whose query copy came from
+	// `from`) at time t over its out-neighbors.
+	forward := func(at, from topology.NodeID, outs []topology.NodeID, t float64, hops int32) {
+		if fastFlood {
+			for _, n := range outs {
+				if n == from || n == q.Origin {
+					continue
+				}
+				send(at, n, t, hops)
+			}
+			return
+		}
+		s.fwd = c.Forward.Select(q, at, from, outs, ledger(at), s.fwd[:0])
+		for _, n := range s.fwd {
+			send(at, n, t, hops)
+		}
 	}
 
 	// With a local index the origin answers from its own index first —
@@ -134,17 +165,14 @@ func (c *Cascade) RunScratch(q *Query, s *Scratch) *Outcome {
 	// hops, so TTL = 0 means no propagation at all.
 	if q.TTL >= 1 && !(originHit && !q.ForwardWhenHit) &&
 		!(q.MaxResults > 0 && len(out.Results) >= q.MaxResults) {
-		s.fwd = c.Forward.Select(q, q.Origin, topology.None, c.Graph.Out(q.Origin), ledger(q.Origin), s.fwd[:0])
-		for _, n := range s.fwd {
-			send(q.Origin, n, 0, 1)
-		}
+		forward(q.Origin, topology.None, c.Graph.Out(q.Origin), 0, 1)
 	}
 
 	for {
 		if c.Halt != nil && c.Halt() {
 			break
 		}
-		a, ok := s.heap.pop()
+		a, ok := s.popArrival()
 		if !ok {
 			break
 		}
@@ -157,7 +185,7 @@ func (c *Cascade) RunScratch(q *Query, s *Scratch) *Outcome {
 		if s.visited(a.node) {
 			continue // Process_Query: "if the same message has been received before, return"
 		}
-		if !c.Graph.Online(a.node) {
+		if !fastGraph && !c.Graph.Online(a.node) {
 			continue // message reached a node that just went off-line
 		}
 		st := s.slot(a.node)
@@ -173,16 +201,19 @@ func (c *Cascade) RunScratch(q *Query, s *Scratch) *Outcome {
 		}
 		if hit || c.Index != nil {
 			// Reply travels the reverse route (Gnutella semantics);
-			// each reverse hop samples a fresh delay.
+			// each reverse hop samples a fresh delay. With no delay
+			// model the accumulation walk is pure zeros — skip it.
 			replyDelay := 0.0
-			node := a.node
-			for node != q.Origin {
-				parent := s.visits[node].parent
-				replyDelay += delay(node, parent)
-				node = parent
+			if !noDelay {
+				node := a.node
+				for node != q.Origin {
+					parent := s.visits[node].parent
+					replyDelay += delay(node, parent)
+					node = parent
+				}
 			}
 			if hit {
-				node = a.node
+				node := a.node
 				for node != q.Origin {
 					out.ReplyMessages++
 					parent := s.visits[node].parent
@@ -197,7 +228,10 @@ func (c *Cascade) RunScratch(q *Query, s *Scratch) *Outcome {
 				total := now + replyDelay
 				res := Result{Holder: a.node, Hops: int(a.hops), Delay: total}
 				out.Results = append(out.Results, res)
-				if out.FirstResultDelay == 0 || total < out.FirstResultDelay {
+				// First appended result opens the minimum; set-ness is
+				// len(Results) > 0, never a zero sentinel — a genuine
+				// zero-delay first result survives later, slower ones.
+				if len(out.Results) == 1 || total < out.FirstResultDelay {
 					out.FirstResultDelay = total
 				}
 				if c.OnResult != nil {
@@ -218,10 +252,13 @@ func (c *Cascade) RunScratch(q *Query, s *Scratch) *Outcome {
 		if (hit && !q.ForwardWhenHit) || int(a.hops) >= q.TTL {
 			continue
 		}
-		s.fwd = c.Forward.Select(q, a.node, a.from, c.Graph.Out(a.node), ledger(a.node), s.fwd[:0])
-		for _, n := range s.fwd {
-			send(a.node, n, now, a.hops+1)
+		var outs []topology.NodeID
+		if fastGraph {
+			outs = csr.Out(a.node)
+		} else {
+			outs = c.Graph.Out(a.node)
 		}
+		forward(a.node, a.from, outs, now, a.hops+1)
 	}
 	return out
 }

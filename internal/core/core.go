@@ -65,6 +65,9 @@ func (q *Query) Validate() error {
 	if q.MaxResults < 0 {
 		return fmt.Errorf("core: query %d has negative MaxResults %d", q.ID, q.MaxResults)
 	}
+	if q.Origin < 0 {
+		return fmt.Errorf("core: query %d has negative origin %d", q.ID, q.Origin)
+	}
 	return nil
 }
 
@@ -94,13 +97,24 @@ type Outcome struct {
 	// Visited is the number of distinct repositories that processed the
 	// query (excluding the origin).
 	Visited int
-	// FirstResultDelay is the smallest Result.Delay, or 0 when no
-	// results; Figure 3(a) averages it over queries with results.
+	// FirstResultDelay is the smallest Result.Delay. It is meaningful
+	// iff Hit(): set-ness is len(Results) > 0, not a zero sentinel, so
+	// a genuine zero-delay first result (ZeroDelay networks) is
+	// distinguishable from "no result" — use FirstDelay for the
+	// explicit pair. The field stays 0 when no results, keeping JSON
+	// output identical for the non-zero cases.
 	FirstResultDelay float64
 }
 
 // Hit reports whether at least one result was found.
 func (o *Outcome) Hit() bool { return len(o.Results) > 0 }
+
+// FirstDelay returns the delay of the earliest result and whether any
+// result exists — the explicit form of the FirstResultDelay field,
+// immune to the genuine-zero-delay ambiguity.
+func (o *Outcome) FirstDelay() (float64, bool) {
+	return o.FirstResultDelay, len(o.Results) > 0
+}
 
 // Graph is the topology view a search engine walks. The simulator
 // passes the global topology.Network; the live runtime passes each

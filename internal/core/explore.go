@@ -119,7 +119,7 @@ func (c *Cascade) ExploreScratch(x *Exploration, s *Scratch) *ExploreOutcome {
 		if c.OnMessage != nil {
 			c.OnMessage(from, to)
 		}
-		s.heap.push(t+delay(from, to), to, from, hops)
+		s.pushArrival(t+delay(from, to), to, from, hops)
 	}
 
 	if x.TTL >= 1 {
@@ -133,7 +133,7 @@ func (c *Cascade) ExploreScratch(x *Exploration, s *Scratch) *ExploreOutcome {
 		if c.Halt != nil && c.Halt() {
 			break
 		}
-		a, ok := s.heap.pop()
+		a, ok := s.popArrival()
 		if !ok {
 			break
 		}

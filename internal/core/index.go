@@ -58,7 +58,7 @@ func (c *Cascade) indexResults(q *Query, out *Outcome, s *Scratch,
 		}
 		res := Result{Holder: h, Hops: hops + 1, Delay: total}
 		out.Results = append(out.Results, res)
-		if out.FirstResultDelay == 0 || total < out.FirstResultDelay {
+		if len(out.Results) == 1 || total < out.FirstResultDelay {
 			out.FirstResultDelay = total
 		}
 		if c.OnResult != nil {

@@ -1,6 +1,9 @@
 package core
 
-import "repro/internal/topology"
+import (
+	"repro/internal/eventq"
+	"repro/internal/topology"
+)
 
 // Scratch is the pooled working state of one cascade or exploration.
 // NodeIDs are dense 0-based indices (see topology.NodeID), so all
@@ -26,7 +29,13 @@ type Scratch struct {
 	// index-answered set). Bumping epoch invalidates every slot in O(1).
 	epoch  uint32
 	visits []visitSlot
-	heap   arrivalHeap
+
+	// queue orders in-flight query copies by (arrival time, push seq) —
+	// the monotone bucketed queue of internal/eventq, which realizes
+	// the exact total order of the historical binary heap (and falls
+	// back to one for unbucketable delay distributions), so cascades
+	// pop identical sequences whichever representation serves them.
+	queue eventq.Monotone[arrivalPayload]
 
 	// Pooled result and working buffers, reused across cascades.
 	results  []Result
@@ -46,14 +55,30 @@ type visitSlot struct {
 	forwardDelay float64
 }
 
-// NewScratch returns a Scratch pre-sized for networks of n nodes.
-// Slots grow on demand, so n is a capacity hint, not a limit; pass the
-// network size to avoid growth pauses on the first cascades.
+// queueHint bounds the event-queue pre-size: the queue holds in-flight
+// message copies (the cascade frontier), which is governed by fan-out
+// and TTL, not the network size — a TTL-4 degree-4 flood keeps a few
+// hundred in flight whether the network has 1k or 1M nodes.
+const queueHint = 1024
+
+// NewScratch returns a Scratch pre-sized for networks of n nodes: the
+// per-node slot array holds n entries and the event queue's backing
+// array is sized for a deep flood's frontier, so first cascades pay no
+// growth pauses. Slots still grow on demand — n is a capacity hint, not
+// a limit.
 func NewScratch(n int) *Scratch {
 	if n < 0 {
 		n = 0
 	}
-	return &Scratch{visits: make([]visitSlot, n)}
+	s := &Scratch{visits: make([]visitSlot, n)}
+	if n > 0 {
+		hint := n
+		if hint > queueHint {
+			hint = queueHint
+		}
+		s.queue.Grow(hint)
+	}
+	return s
 }
 
 // begin opens a new cascade: every slot of the previous one is
@@ -66,7 +91,7 @@ func (s *Scratch) begin() {
 		}
 		s.epoch = 1
 	}
-	s.heap.reset()
+	s.queue.Reset()
 }
 
 // slot returns the state cell of id, growing the slot array as needed.
@@ -88,77 +113,34 @@ func (s *Scratch) visited(id topology.NodeID) bool {
 	return int(id) < len(s.visits) && s.visits[id].epoch == s.epoch
 }
 
-// arrival is one in-flight copy of the query.
-type arrival struct {
-	time float64
-	seq  uint64 // tiebreaker: push order, for deterministic pop order
+// arrivalPayload is the queue payload of one in-flight query copy; the
+// arrival time and the deterministic tiebreak live in the queue's keys.
+type arrivalPayload struct {
 	node topology.NodeID
 	from topology.NodeID // forwarding neighbor (reverse-route next hop)
 	hops int32
 }
 
-// arrivalHeap is a binary min-heap of arrivals keyed on (time, seq) —
-// the same total order as internal/eventq, so cascades pop identical
-// sequences, but stored by value in one reusable backing array: pushing
-// a message costs no allocation once the heap has reached its
-// high-water capacity.
-type arrivalHeap struct {
-	items []arrival
-	seq   uint64
+// arrival is one in-flight copy of the query as the cascade loop sees
+// it: the queue key (time) plus the payload.
+type arrival struct {
+	time float64
+	node topology.NodeID
+	from topology.NodeID
+	hops int32
 }
 
-func (h *arrivalHeap) reset() {
-	h.items = h.items[:0]
-	h.seq = 0
+// pushArrival schedules one query copy for arrival at time t.
+func (s *Scratch) pushArrival(t float64, node, from topology.NodeID, hops int32) {
+	s.queue.Push(t, arrivalPayload{node: node, from: from, hops: hops})
 }
 
-func (h *arrivalHeap) push(t float64, node, from topology.NodeID, hops int32) {
-	h.items = append(h.items, arrival{time: t, seq: h.seq, node: node, from: from, hops: hops})
-	h.seq++
-	i := len(h.items) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
-			break
-		}
-		h.items[i], h.items[parent] = h.items[parent], h.items[i]
-		i = parent
-	}
-}
-
-// pop removes and returns the earliest arrival; ok is false when empty.
-func (h *arrivalHeap) pop() (a arrival, ok bool) {
-	n := len(h.items)
-	if n == 0 {
+// popArrival removes and returns the earliest arrival; ok is false when
+// no copies are in flight.
+func (s *Scratch) popArrival() (arrival, bool) {
+	t, p, ok := s.queue.Pop()
+	if !ok {
 		return arrival{}, false
 	}
-	a = h.items[0]
-	h.items[0] = h.items[n-1]
-	h.items = h.items[:n-1]
-	n--
-	i := 0
-	for {
-		left := 2*i + 1
-		if left >= n {
-			break
-		}
-		smallest := left
-		if right := left + 1; right < n && h.less(right, left) {
-			smallest = right
-		}
-		if !h.less(smallest, i) {
-			break
-		}
-		h.items[i], h.items[smallest] = h.items[smallest], h.items[i]
-		i = smallest
-	}
-	return a, true
-}
-
-func (h *arrivalHeap) less(i, j int) bool {
-	a, b := &h.items[i], &h.items[j]
-	if a.time != b.time {
-		return a.time < b.time
-	}
-	return a.seq < b.seq
+	return arrival{time: t, node: p.node, from: p.from, hops: p.hops}, true
 }

@@ -1,0 +1,262 @@
+package eventq
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// refQueue is the trusted oracle: the existing indexed binary heap.
+type refQueue struct{ q *Queue }
+
+func (r *refQueue) push(t float64, v int) { r.q.Push(t, v) }
+func (r *refQueue) pop() (float64, int, bool) {
+	it := r.q.Pop()
+	if it == nil {
+		return 0, 0, false
+	}
+	return it.Time, it.Value.(int), true
+}
+
+// lcg is a tiny deterministic generator so the tests need no seeding
+// policy from the rng package.
+type lcg uint64
+
+func (g *lcg) next() uint64 {
+	*g = *g*6364136223846793005 + 1442695040888963407
+	return uint64(*g)
+}
+
+func (g *lcg) float() float64 { // in [0, 1)
+	return float64(g.next()>>11) / (1 << 53)
+}
+
+// delayModels are the distributions a cascade might sample hop delays
+// from; every one must produce byte-identical pop sequences between
+// Monotone and the reference heap.
+var delayModels = map[string]func(g *lcg) float64{
+	"zero":     func(*lcg) float64 { return 0 },
+	"constant": func(*lcg) float64 { return 0.125 },
+	"netsim":   func(g *lcg) float64 { return 0.070 + 0.280*g.float() },
+	"tiny-spread": func(g *lcg) float64 {
+		return 0.1 + 1e-9*g.float() // near-identical delays: degenerate width
+	},
+	"heavy-tail": func(g *lcg) float64 {
+		d := 0.01 + 0.04*g.float()
+		if g.next()%64 == 0 {
+			d *= 1e5 // occasional enormous delay: forces the heap fallback
+		}
+		return d
+	},
+	"micro": func(g *lcg) float64 { return 1e-7 * g.float() },
+}
+
+// driveCascade emulates the cascade's push/pop pattern: a seed burst,
+// then each pop triggers a random fan-out of pushes at now + delay.
+// It returns the pop sequence (time, payload) of the queue under test.
+func driveCascade(t *testing.T, push func(float64, int), pop func() (float64, int, bool),
+	seed uint64, delay func(*lcg) float64, events int) (times []float64, vals []int) {
+	t.Helper()
+	g := lcg(seed)
+	n := 0
+	for i := 0; i < 4; i++ {
+		push(delay(&g), n)
+		n++
+	}
+	for {
+		tm, v, ok := pop()
+		if !ok {
+			break
+		}
+		times = append(times, tm)
+		vals = append(vals, v)
+		if n < events {
+			fan := int(g.next() % 4)
+			for i := 0; i < fan && n < events; i++ {
+				push(tm+delay(&g), n)
+				n++
+			}
+		}
+	}
+	return times, vals
+}
+
+// TestMonotoneMatchesHeapOrder: under every delay model, the bucketed
+// queue pops the exact sequence the reference binary heap does.
+func TestMonotoneMatchesHeapOrder(t *testing.T) {
+	for name, delay := range delayModels {
+		t.Run(name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 20; seed++ {
+				m := NewMonotone[int](0)
+				ref := &refQueue{q: New()}
+				mt, mv := driveCascade(t, m.Push, m.Pop, seed, delay, 500)
+				rt, rv := driveCascade(t, func(tm float64, v int) { ref.push(tm, v) }, ref.pop, seed, delay, 500)
+				if len(mt) != len(rt) {
+					t.Fatalf("seed %d: %d pops vs %d reference pops", seed, len(mt), len(rt))
+				}
+				for i := range mt {
+					if mt[i] != rt[i] || mv[i] != rv[i] {
+						t.Fatalf("seed %d pop %d: (%v, %d) vs reference (%v, %d) [mode %s]",
+							seed, i, mt[i], mv[i], rt[i], rv[i], m.Mode())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMonotoneReuseMatchesFresh: a Reset queue reproduces a fresh
+// queue's pop sequence exactly — the pooling contract core.Scratch
+// relies on.
+func TestMonotoneReuseMatchesFresh(t *testing.T) {
+	reused := NewMonotone[int](0)
+	for name, delay := range delayModels {
+		t.Run(name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 5; seed++ {
+				fresh := NewMonotone[int](0)
+				reused.Reset()
+				ft, fv := driveCascade(t, fresh.Push, fresh.Pop, seed, delay, 300)
+				rt, rv := driveCascade(t, reused.Push, reused.Pop, seed, delay, 300)
+				if len(ft) != len(rt) {
+					t.Fatalf("seed %d: fresh %d pops, reused %d", seed, len(ft), len(rt))
+				}
+				for i := range ft {
+					if ft[i] != rt[i] || fv[i] != rv[i] {
+						t.Fatalf("seed %d pop %d: reused queue diverged", seed, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMonotoneModes pins the representation transitions: sorted (and
+// small out-of-order) pushes stay in the run, a large-frontier
+// inversion moves to buckets, and a runaway spread degrades to the
+// heap — with the pop order exact throughout.
+func TestMonotoneModes(t *testing.T) {
+	q := NewMonotone[int](0)
+	if q.Mode() != "run" {
+		t.Fatalf("fresh queue in mode %s, want run", q.Mode())
+	}
+	type entry struct {
+		t float64
+		v int
+	}
+	var want []entry
+	push := func(tm float64, v int) {
+		q.Push(tm, v)
+		want = append(want, entry{tm, v})
+	}
+	push(1, 0)
+	push(2, 1)
+	push(2, 2)   // ties append
+	push(1.5, 3) // small-frontier inversion: binary insert, still the run
+	if q.Mode() != "run" {
+		t.Fatalf("small inversion left the run: %s", q.Mode())
+	}
+	// Grow the pending set beyond the run-insert bound, then invert.
+	v := 4
+	for ; v < 4+runInsertMax; v++ {
+		push(3+float64(v)/1000, v)
+	}
+	push(2.5, v)
+	v++
+	if q.Mode() != "buckets" {
+		t.Fatalf("large-frontier inversion did not bucket: %s", q.Mode())
+	}
+	push(1e9, v) // far beyond the window: re-buckets with a wider width
+	v++
+	if q.Mode() != "buckets" {
+		t.Fatalf("out-of-window push did not re-bucket: %s", q.Mode())
+	}
+	// A spread that keeps outgrowing geometrically widened windows
+	// exhausts the re-bucketing budget and degrades to the heap.
+	next := 1e13
+	for q.Mode() == "buckets" && v < 200 {
+		push(next, v)
+		next *= 1e4
+		v++
+	}
+	if q.Mode() != "heap" {
+		t.Fatal("runaway spread never degraded to heap")
+	}
+	sort.SliceStable(want, func(i, j int) bool { return want[i].t < want[j].t })
+	for i, w := range want {
+		tm, got, ok := q.Pop()
+		if !ok || tm != w.t || got != w.v {
+			t.Fatalf("pop %d = (%v, %v, %v), want (%v, %d, true)", i, tm, got, ok, w.t, w.v)
+		}
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Fatal("pop from empty queue reported ok")
+	}
+}
+
+// TestMonotoneNaNDegrades: a NaN time cannot be bucketed; the queue
+// must degrade instead of corrupting its index arithmetic.
+func TestMonotoneNaNDegrades(t *testing.T) {
+	q := NewMonotone[int](0)
+	for v := 0; v <= runInsertMax; v++ {
+		q.Push(2+float64(v)/1000, v)
+	}
+	q.Push(1, -1) // large-frontier inversion: to buckets
+	if q.Mode() != "buckets" {
+		t.Fatalf("setup failed: mode %s, want buckets", q.Mode())
+	}
+	q.Push(math.NaN(), -2)
+	if q.Mode() != "heap" {
+		t.Fatalf("NaN push left mode %s, want heap", q.Mode())
+	}
+	if n := q.Len(); n != runInsertMax+3 {
+		t.Fatalf("Len = %d, want %d", n, runInsertMax+3)
+	}
+}
+
+// TestMonotoneForceHeap: the differential-test hook starts the queue on
+// the heap and produces the same order.
+func TestMonotoneForceHeap(t *testing.T) {
+	ForceHeapQueue = true
+	defer func() { ForceHeapQueue = false }()
+	q := NewMonotone[int](0)
+	if q.Mode() != "heap" {
+		t.Fatalf("ForceHeapQueue ignored: mode %s", q.Mode())
+	}
+	delay := delayModels["netsim"]
+	ref := &refQueue{q: New()}
+	mt, mv := driveCascade(t, q.Push, q.Pop, 7, delay, 300)
+	rt, rv := driveCascade(t, func(tm float64, v int) { ref.push(tm, v) }, ref.pop, 7, delay, 300)
+	for i := range mt {
+		if mt[i] != rt[i] || mv[i] != rv[i] {
+			t.Fatalf("forced heap diverged at pop %d", i)
+		}
+	}
+}
+
+// TestMonotoneGrow: pre-sizing keeps the first run allocation-free and
+// does not disturb pending items.
+func TestMonotoneGrow(t *testing.T) {
+	q := NewMonotone[int](64)
+	if cap(q.run) < 64 {
+		t.Fatalf("hint ignored: cap %d", cap(q.run))
+	}
+	q.Push(1, 1)
+	q.Grow(128)
+	if tm, v, ok := q.Pop(); !ok || tm != 1 || v != 1 {
+		t.Fatalf("Grow lost the pending item: (%v, %d, %v)", tm, v, ok)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		q.Reset()
+		for i := 0; i < 64; i++ {
+			q.Push(float64(i), i)
+		}
+		for {
+			if _, _, ok := q.Pop(); !ok {
+				break
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("sorted-run cycle allocated %.1f times per run, want 0", allocs)
+	}
+}

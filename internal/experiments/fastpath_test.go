@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/eventq"
+	"repro/internal/runner"
+)
+
+// TestExperimentsHeapBucketByteIdentical is the end-to-end differential
+// for the bucketed event queue: whole experiment families — a Figure-1
+// run (gnutella workload with reconfiguration), a scale cell (CSR
+// snapshot + netsim delays) and the policies sweep (every registry
+// family, including stochastic ones) — must produce byte-identical
+// results whether cascades run on the bucketed queue or are forced onto
+// the binary-heap fallback.
+func TestExperimentsHeapBucketByteIdentical(t *testing.T) {
+	families := map[string]func() any{
+		"fig1": func() any { return Fig1(CI, 1) },
+		"scale": func() any {
+			sum, _, err := RunScale(smallScaleConfig(11))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sum
+		},
+		"refreeze": func() any {
+			sum, _, err := RunRefreeze(smallScaleConfig(13), 4, 40)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sum
+		},
+		"policies": func() any {
+			cells := PolicyCells("policies", CI, 1)
+			rs, err := runner.Run(context.Background(), cells, runner.Options{Workers: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sums, err := AssemblePolicies(rs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sums
+		},
+	}
+	for name, run := range families {
+		t.Run(name, func(t *testing.T) {
+			marshal := func(forceHeap bool) string {
+				eventq.ForceHeapQueue = forceHeap
+				defer func() { eventq.ForceHeapQueue = false }()
+				j, err := json.Marshal(run())
+				if err != nil {
+					t.Fatal(err)
+				}
+				return string(j)
+			}
+			if bucket, heap := marshal(false), marshal(true); bucket != heap {
+				t.Fatalf("%s: bucketed and heap-fallback runs differ:\n%s\n%s", name, bucket, heap)
+			}
+		})
+	}
+}

@@ -19,12 +19,16 @@ import (
 
 // The scale experiment family stresses the cascade engine itself at
 // network sizes far beyond the paper's 2,000 users: N ∈ {1k, 10k,
-// 100k} nodes split into the client/provider/bystander roles of
+// 100k, 1M} nodes split into the client/provider/bystander roles of
 // content-routing testplans (clients issue queries, providers hold the
 // content, bystanders only route). Unlike the gnutella experiments it
 // has no churn or reconfiguration — it isolates the per-query hot path
-// (flat-slice visited sets, pooled Scratch, slice-backed topology) so
-// its numbers move only when the engine does.
+// (CSR topology snapshots, flat-slice visited sets, pooled Scratch,
+// the monotone bucketed event queue) so its numbers move only when the
+// engine does. The refreeze cell is the exception that proves the
+// snapshot contract: it churns edges between epochs and re-freezes the
+// CSR in place, measuring what a reconfiguration epoch costs the hot
+// path.
 //
 // Each cell's deterministic outcome (message counts, hit rate, delay
 // percentiles) lands in runs/<name>/cells.json like every other
@@ -140,6 +144,11 @@ type ScalePerfSample struct {
 	Allocs uint64
 	// Queries is the number of searches driven.
 	Queries int
+	// RefreezeSeconds totals the time spent re-freezing the CSR
+	// snapshot after churn epochs; Refreezes counts the re-freezes.
+	// Both are zero for the static cells.
+	RefreezeSeconds float64
+	Refreezes       int
 }
 
 // ScalePerf collects the non-deterministic measurements of a scale
@@ -188,6 +197,9 @@ func (p *ScalePerf) Report(rs []runner.Result) (*perf.Report, error) {
 			m["events/sec"] = float64(s.Events) / s.WallSeconds
 			m["allocs/query"] = float64(s.Allocs) / float64(s.Queries)
 			m["wall_seconds"] = s.WallSeconds
+			if s.Refreezes > 0 {
+				m["refreeze_ms"] = s.RefreezeSeconds / float64(s.Refreezes) * 1000
+			}
 		}
 		rep.Add("scale/"+r.Cell, m)
 	}
@@ -195,7 +207,7 @@ func (p *ScalePerf) Report(rs []runner.Result) (*perf.Report, error) {
 }
 
 // scaleSizes is the sweep of the scale experiment family.
-var scaleSizes = []int{1_000, 10_000, 100_000}
+var scaleSizes = []int{1_000, 10_000, 100_000, 1_000_000}
 
 // scaleQueries returns the per-cell query count: enough work to
 // measure throughput without dominating CI wall-clock.
@@ -206,11 +218,21 @@ func scaleQueries(s Scale) int {
 	return 2_000
 }
 
-// ScaleCells returns one cell per network size plus the collector that
-// receives each cell's wall-clock measurements.
+// Refreeze-cell shape: the 100k network re-frozen after churn epochs.
+// Each epoch rewires refreezeChurn edges, re-freezes the CSR snapshot
+// in place, and drives its share of the cell's queries over the fresh
+// snapshot.
+const (
+	refreezeNodes  = 100_000
+	refreezeEpochs = 8
+	refreezeChurn  = 1_000
+)
+
+// ScaleCells returns one cell per network size, plus the refreeze cell,
+// plus the collector that receives each cell's wall-clock measurements.
 func ScaleCells(experiment string, scale Scale, seed uint64) ([]runner.Cell, *ScalePerf) {
 	collector := NewScalePerf()
-	cells := make([]runner.Cell, 0, len(scaleSizes))
+	cells := make([]runner.Cell, 0, len(scaleSizes)+1)
 	for _, n := range scaleSizes {
 		name := fmt.Sprintf("n%d", n)
 		cfg := DefaultScaleConfig(n, scaleQueries(scale), runner.DeriveSeed(seed, experiment, name))
@@ -230,17 +252,46 @@ func ScaleCells(experiment string, scale Scale, seed uint64) ([]runner.Cell, *Sc
 			},
 		})
 	}
+	refreeze := fmt.Sprintf("refreeze-n%d", refreezeNodes)
+	refreezeCfg := DefaultScaleConfig(refreezeNodes, scaleQueries(scale),
+		runner.DeriveSeed(seed, experiment, refreeze))
+	cells = append(cells, runner.Cell{
+		Experiment: experiment,
+		Name:       refreeze,
+		Seed:       refreezeCfg.Seed,
+		Run: func(_ context.Context, cellSeed uint64) (any, error) {
+			c := refreezeCfg
+			c.Seed = cellSeed
+			sum, sample, err := RunRefreeze(c, refreezeEpochs, refreezeChurn)
+			if err != nil {
+				return nil, err
+			}
+			collector.record(refreeze, sample)
+			return sum, nil
+		},
+	})
 	return cells, collector
 }
 
-// RunScale executes one scale cell: build the role-partitioned network,
-// drive the configured number of cascades through one pooled Scratch,
-// and summarize. The summary is a pure function of the config; the
-// returned sample carries the wall-clock side measurements.
-func RunScale(cfg ScaleConfig) (*ScaleSummary, ScalePerfSample, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, ScalePerfSample{}, err
-	}
+// scaleWorld is the deterministic fixture of one scale cell: the wired
+// network with its frozen snapshot, roles, holdings and the streams the
+// query loop consumes.
+type scaleWorld struct {
+	net       *topology.Network
+	csr       *topology.CSR
+	clientIDs []topology.NodeID
+	holdings  []map[core.Key]struct{}
+	zipf      *rng.Zipf
+	providers int
+	root      *rng.Stream
+	query     *rng.Stream
+	eng       *search.Engine
+}
+
+// buildScaleWorld wires, partitions and freezes one cell's network and
+// constructs its engine over the CSR snapshot. Everything is a pure
+// function of cfg.
+func buildScaleWorld(cfg ScaleConfig) (*scaleWorld, error) {
 	root := rng.New(cfg.Seed)
 	wireStream := root.Split()
 	roleStream := root.Split()
@@ -286,8 +337,13 @@ func RunScale(cfg ScaleConfig) (*ScaleSummary, ScalePerfSample, error) {
 	if policy == "" {
 		policy = "flood"
 	}
+	// The engine searches the frozen CSR snapshot, not the mutable
+	// network: the cascade core devirtualizes neighbor lookup on it.
+	// RunRefreeze re-freezes the same *CSR in place after churn epochs,
+	// which the engine sees through the shared pointer.
+	csr := net.Freeze()
 	eng, err := search.New(
-		search.Over(scaleGraph{net}, core.ContentFunc(func(id topology.NodeID, key core.Key) bool {
+		search.Over(csr, core.ContentFunc(func(id topology.NodeID, key core.Key) bool {
 			_, ok := holdings[id][key]
 			return ok
 		})),
@@ -299,54 +355,93 @@ func RunScale(cfg ScaleConfig) (*ScaleSummary, ScalePerfSample, error) {
 			return netsim.OneWayDelay(delayStream, classes[from], classes[to])
 		}))
 	if err != nil {
-		return nil, ScalePerfSample{}, err
+		return nil, err
 	}
+	return &scaleWorld{
+		net:       net,
+		csr:       csr,
+		clientIDs: clientIDs,
+		holdings:  holdings,
+		zipf:      zipf,
+		providers: providers,
+		root:      root,
+		query:     queryStream,
+		eng:       eng,
+	}, nil
+}
 
-	sum := &ScaleSummary{
-		Nodes:      n,
-		Clients:    clients,
-		Providers:  providers,
-		Bystanders: n - clients - providers,
-		Edges:      net.EdgeCount(),
-		Queries:    cfg.Queries,
-	}
-	delays := make([]float64, 0, cfg.Queries)
-	visitedSum := 0
+// runQueries drives queries [first, first+count) of the cell through
+// the world's engine, accumulating into sum and delays.
+func (w *scaleWorld) runQueries(sum *ScaleSummary, delays *[]float64, visitedSum *int, first, count int) error {
 	ctx := context.Background()
-
-	var ms0, ms1 runtime.MemStats
-	runtime.ReadMemStats(&ms0)
-	start := time.Now()
-	for q := 0; q < cfg.Queries; q++ {
-		origin := clientIDs[queryStream.Intn(len(clientIDs))]
-		key := core.Key(zipf.Index(queryStream))
-		outcome, err := eng.Do(ctx, search.Query{
+	for q := first; q < first+count; q++ {
+		origin := w.clientIDs[w.query.Intn(len(w.clientIDs))]
+		key := core.Key(w.zipf.Index(w.query))
+		outcome, err := w.eng.Do(ctx, search.Query{
 			ID:     uint64(q + 1),
 			Key:    key,
 			Origin: origin,
 		})
 		if err != nil {
-			return nil, ScalePerfSample{}, err
+			return err
 		}
 		sum.Messages += outcome.Messages
 		sum.ReplyMessages += outcome.ReplyMessages
-		visitedSum += outcome.Visited
+		*visitedSum += outcome.Visited
 		if outcome.Found() {
 			sum.Hits++
-			delays = append(delays, outcome.FirstResultDelay)
+			*delays = append(*delays, outcome.FirstResultDelay)
 		}
 	}
-	wall := time.Since(start)
-	runtime.ReadMemStats(&ms1)
+	return nil
+}
 
-	sum.HitRate = float64(sum.Hits) / float64(cfg.Queries)
-	sum.MsgsPerQuery = float64(sum.Messages) / float64(cfg.Queries)
-	sum.VisitedMean = float64(visitedSum) / float64(cfg.Queries)
+// finish folds the accumulated tallies into the summary's rates and
+// percentiles.
+func (sum *ScaleSummary) finish(delays []float64, visitedSum int) {
+	sum.HitRate = float64(sum.Hits) / float64(sum.Queries)
+	sum.MsgsPerQuery = float64(sum.Messages) / float64(sum.Queries)
+	sum.VisitedMean = float64(visitedSum) / float64(sum.Queries)
 	sort.Float64s(delays)
 	sum.DelayP50Ms = quantileMs(delays, 0.50)
 	sum.DelayP95Ms = quantileMs(delays, 0.95)
 	sum.DelayP99Ms = quantileMs(delays, 0.99)
+}
 
+// RunScale executes one scale cell: build the role-partitioned network,
+// freeze its CSR snapshot, drive the configured number of cascades
+// through the pooled engine, and summarize. The summary is a pure
+// function of the config; the returned sample carries the wall-clock
+// side measurements.
+func RunScale(cfg ScaleConfig) (*ScaleSummary, ScalePerfSample, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, ScalePerfSample{}, err
+	}
+	w, err := buildScaleWorld(cfg)
+	if err != nil {
+		return nil, ScalePerfSample{}, err
+	}
+	sum := &ScaleSummary{
+		Nodes:      cfg.Nodes,
+		Clients:    len(w.clientIDs),
+		Providers:  w.providers,
+		Bystanders: cfg.Nodes - len(w.clientIDs) - w.providers,
+		Edges:      w.csr.EdgeCount(),
+		Queries:    cfg.Queries,
+	}
+	delays := make([]float64, 0, cfg.Queries)
+	visitedSum := 0
+
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	if err := w.runQueries(sum, &delays, &visitedSum, 0, cfg.Queries); err != nil {
+		return nil, ScalePerfSample{}, err
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+
+	sum.finish(delays, visitedSum)
 	sample := ScalePerfSample{
 		WallSeconds: wall.Seconds(),
 		Events:      sum.Messages + sum.ReplyMessages,
@@ -354,6 +449,90 @@ func RunScale(cfg ScaleConfig) (*ScaleSummary, ScalePerfSample, error) {
 		Queries:     cfg.Queries,
 	}
 	return sum, sample, nil
+}
+
+// RunRefreeze executes the refreeze cell: the same world as RunScale,
+// but the query budget is split across epochs and every epoch rewires
+// churn edges of the mutable network and re-freezes the CSR snapshot
+// in place (topology.FreezeInto — zero allocations at steady state)
+// before its queries run. The summary is a pure function of (cfg,
+// epochs, churn); the sample's RefreezeSeconds/Refreezes record what a
+// reconfiguration epoch costs the hot path.
+func RunRefreeze(cfg ScaleConfig, epochs, churn int) (*ScaleSummary, ScalePerfSample, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, ScalePerfSample{}, err
+	}
+	if epochs < 1 || cfg.Queries < epochs {
+		return nil, ScalePerfSample{}, fmt.Errorf("experiments: refreeze with %d epochs over %d queries", epochs, cfg.Queries)
+	}
+	w, err := buildScaleWorld(cfg)
+	if err != nil {
+		return nil, ScalePerfSample{}, err
+	}
+	churnStream := w.root.Split()
+	sum := &ScaleSummary{
+		Nodes:      cfg.Nodes,
+		Clients:    len(w.clientIDs),
+		Providers:  w.providers,
+		Bystanders: cfg.Nodes - len(w.clientIDs) - w.providers,
+		Queries:    cfg.Queries,
+	}
+	delays := make([]float64, 0, cfg.Queries)
+	visitedSum := 0
+	perEpoch := cfg.Queries / epochs
+
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	sample := ScalePerfSample{}
+	done := 0
+	for e := 0; e < epochs; e++ {
+		scaleChurn(w.net, churn, churnStream)
+		t0 := time.Now()
+		w.net.FreezeInto(w.csr)
+		sample.RefreezeSeconds += time.Since(t0).Seconds()
+		sample.Refreezes++
+		count := perEpoch
+		if e == epochs-1 {
+			count = cfg.Queries - done // remainder rides the last epoch
+		}
+		if err := w.runQueries(sum, &delays, &visitedSum, done, count); err != nil {
+			return nil, ScalePerfSample{}, err
+		}
+		done += count
+	}
+	wall := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+
+	sum.Edges = w.csr.EdgeCount() // post-churn: the snapshot the last epoch searched
+	sum.finish(delays, visitedSum)
+	sample.WallSeconds = wall.Seconds()
+	sample.Events = sum.Messages + sum.ReplyMessages
+	sample.Allocs = ms1.Mallocs - ms0.Mallocs
+	sample.Queries = cfg.Queries
+	return sum, sample, nil
+}
+
+// scaleChurn rewires up to count edges: each step disconnects one
+// random existing edge and reconnects its source to a random peer (the
+// unilateral neighbor change of a reconfiguration epoch, without the
+// benefit machinery). All randomness comes from s.
+func scaleChurn(net *topology.Network, count int, s *rng.Stream) {
+	n := net.Len()
+	for i := 0; i < count; i++ {
+		src := topology.NodeID(s.Intn(n))
+		out := net.Out(src)
+		if len(out) == 0 {
+			continue
+		}
+		net.Disconnect(src, out[s.Intn(len(out))])
+		for attempts := 8; attempts > 0; attempts-- {
+			dst := topology.NodeID(s.Intn(n))
+			if dst != src && net.Connect(src, dst) {
+				break
+			}
+		}
+	}
 }
 
 // quantileMs returns the q-quantile of sorted (ascending) delays, in
@@ -365,12 +544,6 @@ func quantileMs(sorted []float64, q float64) float64 {
 	i := int(q * float64(len(sorted)-1))
 	return sorted[i] * 1000
 }
-
-// scaleGraph adapts a fully-online Network to core.Graph.
-type scaleGraph struct{ net *topology.Network }
-
-func (g scaleGraph) Out(id topology.NodeID) []topology.NodeID { return g.net.Out(id) }
-func (g scaleGraph) Online(topology.NodeID) bool              { return true }
 
 // scaleWire attaches every node to up to degree random peers in O(N *
 // degree): bounded random probing instead of topology.RandomWire's

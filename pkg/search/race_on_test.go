@@ -1,0 +1,7 @@
+//go:build race
+
+package search_test
+
+// raceEnabled reports that the race detector instruments this build;
+// allocation-count assertions are meaningless under it.
+const raceEnabled = true
