@@ -9,9 +9,11 @@
 // aliases fig1a fig1b fig2a fig2b), the ablations: directed iterdeep
 // localindex asym benefit drift webcache peerolap, and the engine
 // stress families: scale (1k/10k/100k/1M-node cascade sweeps plus the
-// CSR re-freeze cell) and policies (the pkg/search forward-policy
+// CSR re-freeze cell), policies (the pkg/search forward-policy
 // registry swept over one network; -list-policies prints the
-// registry).
+// registry), and skew (the session-driver grid: Zipf skew × churn ×
+// policy plus a flash-crowd cell). -list prints every family with a
+// one-line description.
 //
 // -cpuprofile/-memprofile write pprof profiles of the selected run, so
 // hot-path work is measurable without editing code:
@@ -38,6 +40,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"text/tabwriter"
 	"time"
 
 	"repro/internal/experiments"
@@ -53,7 +56,7 @@ func main() {
 // before the process exits (os.Exit skips deferred functions).
 func run() int {
 	var (
-		exp      = flag.String("exp", "all", "experiment: fig1a fig1b fig2a fig2b fig3a fig3b all directed iterdeep localindex asym benefit drift webcache peerolap scale policies")
+		exp      = flag.String("exp", "all", "experiment family (see -list): fig1 ... scale policies skew, or all")
 		only     = flag.String("only", "", "comma-separated experiment subset (overrides -exp)")
 		scale    = flag.String("scale", "ci", "scale: full (paper, minutes) or ci (reduced, seconds)")
 		seed     = flag.Uint64("seed", 1, "experiment seed")
@@ -63,6 +66,7 @@ func run() int {
 		outRoot  = flag.String("out", "runs", "artifact root directory (with -json)")
 		runName  = flag.String("name", "", "artifact run name (default <exp>-<scale>-s<seed>)")
 		progress = flag.Bool("progress", false, "report per-cell progress and ETA on stderr")
+		list     = flag.Bool("list", false, "list the experiment families with descriptions and exit")
 		policies = flag.Bool("list-policies", false, "list the pkg/search forward-policy registry and exit")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the run here")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile (post-run) here")
@@ -102,6 +106,19 @@ func run() int {
 			}
 			fmt.Fprintf(os.Stderr, "memprofile: %s\n", *memProf)
 		}()
+	}
+
+	if *list {
+		// The registry is the single source of truth for what -exp
+		// accepts; scale and seed only affect cell contents, not the
+		// set of families.
+		w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+		for _, d := range experiments.Registry(experiments.CI, 1) {
+			fmt.Fprintf(w, "%s\t%d cells\t%s\n", d.Name, len(d.Cells), d.About)
+		}
+		w.Flush()
+		fmt.Println("aliases: fig1a fig1b fig2a fig2b (single tables of fig1/fig2)")
+		return 0
 	}
 
 	if *policies {

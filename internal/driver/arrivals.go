@@ -1,0 +1,107 @@
+package driver
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Arrivals is a per-node query arrival process. Schedule arms the
+// process for one node on the engine: fire is invoked at each arrival
+// instant while online() holds; the process self-suspends when
+// online() turns false and is re-armed by the returned resume function
+// (the session calls it on login, or immediately when the node never
+// churns). All randomness must come from s so runs stay deterministic.
+type Arrivals interface {
+	Schedule(e *sim.Engine, s *rng.Stream, online func() bool, fire func(now float64)) (resume func())
+	// Validate reports parameter errors; Spec.Validate calls it before
+	// any stream is split.
+	Validate() error
+}
+
+// Poisson is a homogeneous Poisson arrival process — the query model
+// of every paper application ("when on-line, each user will issue
+// queries with the same frequency").
+type Poisson struct {
+	// RatePerHour is the per-node arrival rate.
+	RatePerHour float64
+}
+
+// Validate implements Arrivals.
+func (p Poisson) Validate() error {
+	return workload.QueryConfig{RatePerHour: p.RatePerHour}.Validate()
+}
+
+// Schedule implements Arrivals via workload.ScheduleQueries, keeping
+// the draw sequence (arm: one Exp; per arrival: fire, then one Exp)
+// identical to what the applications historically did inline.
+func (p Poisson) Schedule(e *sim.Engine, s *rng.Stream, online func() bool, fire func(now float64)) func() {
+	return workload.ScheduleQueries(e, s, workload.QueryConfig{RatePerHour: p.RatePerHour}, online, fire)
+}
+
+// FlashCrowd is a non-homogeneous Poisson process: the base rate
+// multiplied by Peak during the window [StartHour, StartHour +
+// DurationHours). It models the flash-crowd scenario of the skew
+// experiment family — demand spikes onto the network faster than any
+// reconfiguration process can follow.
+//
+// Sampling is by thinning against the peak rate: candidate arrivals
+// come from a homogeneous Poisson at BaseRatePerHour*Peak and are
+// accepted with probability rate(t)/peakRate, which keeps the process
+// exact and the per-node draw sequence a pure function of the stream
+// (two draws per candidate: one acceptance uniform, one Exp wait).
+type FlashCrowd struct {
+	// BaseRatePerHour is the off-window per-node rate.
+	BaseRatePerHour float64
+	// Peak multiplies the rate inside the window (>= 1).
+	Peak float64
+	// StartHour and DurationHours position the window in simulated
+	// hours.
+	StartHour, DurationHours float64
+}
+
+// Validate implements Arrivals.
+func (f FlashCrowd) Validate() error {
+	switch {
+	case f.BaseRatePerHour <= 0:
+		return fmt.Errorf("driver: non-positive flash-crowd base rate %v", f.BaseRatePerHour)
+	case f.Peak < 1:
+		return fmt.Errorf("driver: flash-crowd peak %v < 1", f.Peak)
+	case f.StartHour < 0 || f.DurationHours <= 0:
+		return fmt.Errorf("driver: flash-crowd window [%vh, +%vh) invalid", f.StartHour, f.DurationHours)
+	}
+	return nil
+}
+
+// InWindow reports whether simulated time t (seconds) is inside the
+// ramp window.
+func (f FlashCrowd) InWindow(t float64) bool {
+	start := f.StartHour * 3600
+	return t >= start && t < start+f.DurationHours*3600
+}
+
+// rate returns the instantaneous per-hour rate at time t.
+func (f FlashCrowd) rate(t float64) float64 {
+	if f.InWindow(t) {
+		return f.BaseRatePerHour * f.Peak
+	}
+	return f.BaseRatePerHour
+}
+
+// Schedule implements Arrivals: a homogeneous candidate process at the
+// peak rate (delegated to workload.ScheduleQueries, which owns the
+// arm/suspend/resume scaffolding exactly as Poisson does) with each
+// candidate thinned to rate(t)/peakRate. The uniform is drawn on every
+// candidate, so accepted and rejected candidates consume identical
+// stream prefixes.
+func (f FlashCrowd) Schedule(e *sim.Engine, s *rng.Stream, online func() bool, fire func(now float64)) func() {
+	peak := f.BaseRatePerHour * f.Peak
+	return workload.ScheduleQueries(e, s, workload.QueryConfig{RatePerHour: peak}, online,
+		func(now float64) {
+			if s.Float64()*peak < f.rate(now) {
+				fire(now)
+			}
+		})
+}

@@ -17,6 +17,8 @@ import (
 type Definition struct {
 	// Name is the CLI name ("fig1", "directed", ...).
 	Name string
+	// About is the one-line description `repro -list` prints.
+	About string
 	// Cells are the independent simulations, in a fixed order the
 	// Tables renderer relies on.
 	Cells []runner.Cell
@@ -63,6 +65,7 @@ func Registry(scale Scale, seed uint64) []Definition {
 	return []Definition{
 		{
 			Name:  "fig1",
+			About: "Figure 1: hits and query overhead per hour at hops=2, static vs dynamic",
 			Cells: FigHourlyCells("fig1", scale, 2, seed),
 			Tables: figTables(2,
 				"Figure 1(a): queries satisfied per hour (hops=2)",
@@ -70,6 +73,7 @@ func Registry(scale Scale, seed uint64) []Definition {
 		},
 		{
 			Name:  "fig2",
+			About: "Figure 2: hits and query overhead per hour at hops=4, static vs dynamic",
 			Cells: FigHourlyCells("fig2", scale, 4, seed),
 			Tables: figTables(4,
 				"Figure 2(a): queries satisfied per hour (hops=4)",
@@ -77,6 +81,7 @@ func Registry(scale Scale, seed uint64) []Definition {
 		},
 		{
 			Name:  "fig3a",
+			About: "Figure 3(a): first-result response time and result counts over TTL 1-4",
 			Cells: Fig3aCells("fig3a", scale, seed),
 			Tables: func(rs []runner.Result) ([]*metrics.Table, error) {
 				rows, err := AssembleFig3a(rs)
@@ -88,6 +93,7 @@ func Registry(scale Scale, seed uint64) []Definition {
 		},
 		{
 			Name:  "fig3b",
+			About: "Figure 3(b): total hits over the reconfiguration threshold sweep",
 			Cells: Fig3bCells("fig3b", scale, seed),
 			Tables: func(rs []runner.Result) ([]*metrics.Table, error) {
 				rows, err := AssembleFig3b(rs)
@@ -99,31 +105,37 @@ func Registry(scale Scale, seed uint64) []Definition {
 		},
 		{
 			Name:   "directed",
+			About:  "Ablation: Directed BFT vs flooding vs random-2 forwarding",
 			Cells:  DirectedBFTCells("directed", scale, seed),
 			Tables: variantTables("Ablation: Directed BFT vs flooding (dynamic, hops=3)"),
 		},
 		{
 			Name:   "iterdeep",
+			About:  "Ablation: iterative deepening {1,3} vs one full-depth flood",
 			Cells:  IterDeepeningCells("iterdeep", scale, seed),
 			Tables: variantTables("Ablation: iterative deepening (dynamic, max depth 3)"),
 		},
 		{
 			Name:   "localindex",
+			About:  "Ablation: radius-1 local indices with the flood shortened one hop",
 			Cells:  LocalIndicesCells("localindex", scale, seed),
 			Tables: variantTables("Ablation: local indices r=1 (technique iii of [10], hops=2)"),
 		},
 		{
 			Name:   "asym",
+			About:  "Ablation: symmetric (Algo 4) vs asymmetric (Algo 3) neighbor updates",
 			Cells:  AsymmetricUpdateCells("asym", scale, seed),
 			Tables: variantTables("Ablation: symmetric (Algo 4) vs asymmetric (Algo 3) updates (hops=2)"),
 		},
 		{
 			Name:   "benefit",
+			About:  "Ablation: benefit-function sensitivity of the dynamic gain",
 			Cells:  BenefitFunctionsCells("benefit", scale, seed),
 			Tables: variantTables("Ablation: benefit-function sensitivity (dynamic, hops=2)"),
 		},
 		{
 			Name:  "drift",
+			About: "Extension: mid-run preference drift and recovery, with ledger decay",
 			Cells: DriftCells("drift", scale, seed),
 			Tables: func(rs []runner.Result) ([]*metrics.Table, error) {
 				rows, err := AssembleDrift(scale, seed, rs)
@@ -135,6 +147,7 @@ func Registry(scale Scale, seed uint64) []Definition {
 		},
 		{
 			Name:  "webcache",
+			About: "Case study: Squid-like cooperating proxies (one-hop, origin fallback)",
 			Cells: WebCacheCells("webcache", scale, seed),
 			Tables: func(rs []runner.Result) ([]*metrics.Table, error) {
 				rows, err := AssembleWebCache(rs)
@@ -146,6 +159,7 @@ func Registry(scale Scale, seed uint64) []Definition {
 		},
 		{
 			Name:  "peerolap",
+			About: "Case study: PeerOlap chunk caching against a data warehouse",
 			Cells: PeerOlapCells("peerolap", scale, seed),
 			Tables: func(rs []runner.Result) ([]*metrics.Table, error) {
 				rows, err := AssemblePeerOlap(rs)
@@ -158,6 +172,7 @@ func Registry(scale Scale, seed uint64) []Definition {
 		scaleDefinition(scale, seed),
 		{
 			Name:  "policies",
+			About: "Forward-policy registry swept over one shared network",
 			Cells: PolicyCells("policies", scale, seed),
 			Tables: func(rs []runner.Result) ([]*metrics.Table, error) {
 				sums, err := AssemblePolicies(rs)
@@ -167,6 +182,27 @@ func Registry(scale Scale, seed uint64) []Definition {
 				return []*metrics.Table{PolicyTable(sums)}, nil
 			},
 		},
+		skewDefinition(scale, seed),
+	}
+}
+
+// skewDefinition wires the skew family (see skew.go) into the
+// registry: the session-driver grid renders as a table; the wall-clock
+// collector renders as BENCH_skew.json.
+func skewDefinition(scale Scale, seed uint64) Definition {
+	cells, collector := SkewCells("skew", scale, seed)
+	return Definition{
+		Name:  "skew",
+		About: "Session driver grid: Zipf skew × churn × policy, plus a flash crowd",
+		Cells: cells,
+		Tables: func(rs []runner.Result) ([]*metrics.Table, error) {
+			sums, err := AssembleSkew(rs)
+			if err != nil {
+				return nil, err
+			}
+			return []*metrics.Table{SkewTable(rs, sums)}, nil
+		},
+		Perf: collector.Report,
 	}
 }
 
@@ -177,6 +213,7 @@ func scaleDefinition(scale Scale, seed uint64) Definition {
 	cells, collector := ScaleCells("scale", scale, seed)
 	return Definition{
 		Name:  "scale",
+		About: "Engine stress: 1k-1M-node cascade sweeps plus the CSR re-freeze cell",
 		Cells: cells,
 		Tables: func(rs []runner.Result) ([]*metrics.Table, error) {
 			sums, err := AssembleScale(rs)

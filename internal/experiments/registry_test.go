@@ -8,7 +8,7 @@ import (
 
 func TestRegistryWellFormed(t *testing.T) {
 	defs := Registry(CI, 1)
-	if len(defs) != 14 {
+	if len(defs) != 15 {
 		t.Fatalf("registry has %d definitions", len(defs))
 	}
 	seenDef := map[string]bool{}
@@ -22,6 +22,9 @@ func TestRegistryWellFormed(t *testing.T) {
 		}
 		if d.Tables == nil {
 			t.Fatalf("definition %q has no renderer", d.Name)
+		}
+		if d.About == "" {
+			t.Fatalf("definition %q has no -list description", d.Name)
 		}
 		seenCell := map[string]bool{}
 		for _, c := range d.Cells {
@@ -38,11 +41,12 @@ func TestRegistryWellFormed(t *testing.T) {
 			// Cells of paired-comparison experiments (the policies
 			// sweep included) share the experiment seed so variant
 			// comparisons run identical workload streams; only the
-			// scale family (independent sizes, nothing paired) derives
-			// one stable seed per cell from its labels. Either way the
-			// seed is fixed at construction time, never at run time.
+			// scale and skew families (independent cells, nothing
+			// paired) derive one stable seed per cell from its labels.
+			// Either way the seed is fixed at construction time, never
+			// at run time.
 			want := uint64(1)
-			if d.Name == "scale" {
+			if d.Name == "scale" || d.Name == "skew" {
 				want = runner.DeriveSeed(1, d.Name, c.Name)
 			}
 			if c.Seed != want {

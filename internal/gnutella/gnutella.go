@@ -1,8 +1,8 @@
 // Package gnutella implements the paper's Section 4 case study: an
 // adaptive content-sharing network. It binds the framework of
-// internal/core to the discrete-event simulator with the exact
-// parameters of Section 4.1/4.2 and provides both protocol variants of
-// the evaluation:
+// internal/core to the shared session driver with the exact parameters
+// of Section 4.1/4.2 and provides both protocol variants of the
+// evaluation:
 //
 //   - Static: plain Gnutella — random neighbors chosen at login, only
 //     replaced (randomly) when a neighbor logs off;
@@ -10,12 +10,18 @@
 //     obtained result, reconfiguration every θ requests and on neighbor
 //     log-off, invitations always accepted, evictions reset the
 //     victim's statistics about the evictor.
+//
+// The timeline (churn, Poisson query arrivals, search dispatch, trace
+// plumbing) lives in internal/driver; this package keeps only the
+// domain: the music workload, the B/R benefit bookkeeping, and the
+// login/logoff/reconfiguration reactions.
 package gnutella
 
 import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/driver"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/rng"
@@ -176,33 +182,22 @@ type Metrics struct {
 	LoginCount, LogoffCount uint64
 }
 
-// Sim is one bound simulation run.
+// Sim is one bound simulation run: the shared session driver plus the
+// music-sharing domain state.
 type Sim struct {
 	cfg     Config
-	engine  *sim.Engine
-	network *topology.Network
+	sess    *driver.Session
 	catalog *workload.Catalog
 	users   []*workload.User
-	online  []bool
 	ledgers []*stats.Ledger
 	// reqCount is the per-node issued-request counter driving θ.
 	reqCount []int
 	updater  *core.SymmetricUpdater
 	trials   *core.TrialTracker
-	// searcher is the pkg/search facade all queries go through; it owns
-	// the pooled cascade working memory.
-	searcher *search.Engine
 	// indexRadius is the configured local-index radius (0 without
 	// indices); searches run with TTL shortened by it.
 	indexRadius int
 	met         *Metrics
-
-	churnStreams []*rng.Stream
-	queryStreams []*rng.Stream
-	topoStream   *rng.Stream
-	delayStream  *rng.Stream
-	resumeQuery  []func()
-	queryID      core.QueryID
 }
 
 // New builds a simulation (generating the dataset) without running it.
@@ -221,19 +216,11 @@ func New(cfg Config) *Sim {
 		relation = topology.PureAsymmetric
 	}
 	s := &Sim{
-		cfg:          cfg,
-		engine:       sim.New(),
-		network:      topology.NewNetwork(relation, cfg.Music.Users, cfg.Neighbors, cfg.Neighbors),
-		catalog:      catalog,
-		users:        users,
-		online:       make([]bool, cfg.Music.Users),
-		ledgers:      make([]*stats.Ledger, cfg.Music.Users),
-		reqCount:     make([]int, cfg.Music.Users),
-		churnStreams: root.SplitN(cfg.Music.Users),
-		queryStreams: root.SplitN(cfg.Music.Users),
-		topoStream:   root.Split(),
-		delayStream:  root.Split(),
-		resumeQuery:  make([]func(), cfg.Music.Users),
+		cfg:      cfg,
+		catalog:  catalog,
+		users:    users,
+		ledgers:  make([]*stats.Ledger, cfg.Music.Users),
+		reqCount: make([]int, cfg.Music.Users),
 		met: &Metrics{
 			Hits:    metrics.NewSeries(3600),
 			Queries: metrics.NewSeries(3600),
@@ -249,124 +236,99 @@ func New(cfg Config) *Sim {
 		Invite:   core.AlwaysAccept,
 		MaxSwaps: cfg.MaxSwaps,
 	}
-	// Assemble the search facade: the base options encode the paper's
-	// case-study parameters, the variant contributes the ablation knobs
-	// (forward policy, deepening, local indices).
-	opts := []search.Option{
-		search.WithDelay(s.sampleDelay),
-		search.WithForwardWhenHit(cfg.ForwardWhenHit),
-		search.WithScratchHint(cfg.Music.Users),
-		search.WithOnMessage(func(_, _ topology.NodeID) {
-			s.met.Meter.Count(netsim.MsgQuery, s.engine.Now(), 1)
-		}),
-	}
-	opts = append(opts, s.variantOptions()...)
-	// Local indices answer for peers within the radius, so the flood
-	// runs that much shorter with unchanged coverage.
-	ttl := cfg.TTL - s.indexRadius
-	if ttl < 0 {
-		ttl = 0
-	}
-	opts = append(opts, search.WithTTL(ttl))
-	eng, err := search.New(search.Over((*simGraph)(s), core.ContentFunc(s.hasContent)), opts...)
+	churn := cfg.Churn
+	sess, err := driver.New(driver.Spec{
+		Nodes:    cfg.Music.Users,
+		Relation: relation,
+		OutCap:   cfg.Neighbors,
+		InCap:    cfg.Neighbors,
+		Duration: float64(cfg.DurationHours) * 3600,
+		Arrivals: driver.Poisson{RatePerHour: cfg.Query.RatePerHour},
+		Churn:    &churn,
+		Content:  core.ContentFunc(s.hasContent),
+		Classes:  func(id topology.NodeID) netsim.BandwidthClass { return s.users[id].Class },
+		Search:   s.searchOptions,
+		OnQuery:  s.issueQuery,
+		OnLogin:  s.login,
+		OnLogoff: s.logoff,
+		Before:   s.scheduleDomainProcesses,
+		Trace:    cfg.Trace,
+	}, root)
 	if err != nil {
 		panic(err)
 	}
-	s.searcher = eng
+	s.sess = sess
 	return s
 }
 
-// simGraph adapts Sim to core.Graph.
-type simGraph Sim
-
-// Out implements core.Graph.
-func (g *simGraph) Out(id topology.NodeID) []topology.NodeID { return g.network.Out(id) }
-
-// Online implements core.Graph.
-func (g *simGraph) Online(id topology.NodeID) bool { return g.online[id] }
+// searchOptions assembles the facade: the base options encode the
+// paper's case-study parameters, the variant contributes the ablation
+// knobs (forward policy, deepening, local indices). The driver already
+// installed the delay model and the scratch hint.
+func (s *Sim) searchOptions(sess *driver.Session) []search.Option {
+	opts := []search.Option{
+		search.WithForwardWhenHit(s.cfg.ForwardWhenHit),
+		search.WithOnMessage(func(_, _ topology.NodeID) {
+			s.met.Meter.Count(netsim.MsgQuery, sess.Now(), 1)
+		}),
+	}
+	opts = append(opts, s.variantOptions(sess)...)
+	// Local indices answer for peers within the radius, so the flood
+	// runs that much shorter with unchanged coverage.
+	ttl := s.cfg.TTL - s.indexRadius
+	if ttl < 0 {
+		ttl = 0
+	}
+	return append(opts, search.WithTTL(ttl))
+}
 
 func (s *Sim) hasContent(id topology.NodeID, key core.Key) bool {
 	return s.users[id].Has(key)
 }
 
-func (s *Sim) sampleDelay(from, to topology.NodeID) float64 {
-	return netsim.OneWayDelay(s.delayStream, s.users[from].Class, s.users[to].Class)
-}
-
 // Engine exposes the underlying simulator (tests drive partial runs).
-func (s *Sim) Engine() *sim.Engine { return s.engine }
+func (s *Sim) Engine() *sim.Engine { return s.sess.Engine() }
 
 // Network exposes the neighbor graph.
-func (s *Sim) Network() *topology.Network { return s.network }
+func (s *Sim) Network() *topology.Network { return s.sess.Network() }
 
 // Metrics returns the collected measurements.
 func (s *Sim) Metrics() *Metrics { return s.met }
 
 // OnlineCount returns the number of currently on-line users.
-func (s *Sim) OnlineCount() int {
-	n := 0
-	for _, on := range s.online {
-		if on {
-			n++
-		}
-	}
-	return n
-}
+func (s *Sim) OnlineCount() int { return s.sess.OnlineCount() }
+
+// IsOnline reports whether a node is currently on-line.
+func (s *Sim) IsOnline(id topology.NodeID) bool { return s.sess.IsOnline(id) }
 
 // Run executes the full configured duration and returns the metrics.
 func (s *Sim) Run() *Metrics {
-	horizon := float64(s.cfg.DurationHours) * 3600
-	s.engine.SetHorizon(horizon)
-	s.start()
-	s.engine.RunUntil(horizon)
+	s.sess.Run()
+	s.met.LoginCount = s.sess.Logins()
+	s.met.LogoffCount = s.sess.Logoffs()
 	return s.met
 }
 
-// start schedules churn and query processes for every user.
-func (s *Sim) start() {
+// scheduleDomainProcesses schedules the domain-side timeline (the
+// driver owns churn and arrivals): preference drift, trial expiry,
+// ledger decay.
+func (s *Sim) scheduleDomainProcesses() {
+	en := s.sess.Engine()
 	if s.cfg.DriftAtHour > 0 {
-		s.engine.At(float64(s.cfg.DriftAtHour)*3600, func(*sim.Engine) { s.drift() })
+		en.At(float64(s.cfg.DriftAtHour)*3600, func(*sim.Engine) { s.drift() })
 	}
 	if s.trials != nil {
-		s.engine.Ticker(3600, 3600, func(en *sim.Engine) {
+		en.Ticker(3600, 3600, func(en *sim.Engine) {
 			s.trials.Expire((*updateEnv)(s), en.Now())
 		})
 	}
 	if f := s.cfg.LedgerDecayPerHour; f > 0 && f < 1 {
-		s.engine.Ticker(3600, 3600, func(*sim.Engine) {
+		en.Ticker(3600, 3600, func(*sim.Engine) {
 			for _, led := range s.ledgers {
 				led.Decay(f)
 			}
 		})
 	}
-	for i := range s.users {
-		id := topology.NodeID(i)
-		s.resumeQuery[i] = workload.ScheduleQueries(s.engine, s.queryStreams[i], s.cfg.Query,
-			func() bool { return s.online[id] },
-			func(now float64) { s.issueQuery(id, now) },
-		)
-		workload.ScheduleChurn(s.engine, s.churnStreams[i], s.cfg.Churn, func(on bool, now float64) {
-			s.setOnline(id, on, now)
-		})
-	}
-}
-
-// setOnline handles login/logoff.
-func (s *Sim) setOnline(id topology.NodeID, on bool, now float64) {
-	if s.online[id] == on {
-		return
-	}
-	s.online[id] = on
-	if on {
-		s.met.LoginCount++
-		s.login(id)
-		s.resumeQuery[id]()
-		s.emit(trace.Event{Kind: trace.KindLogin, Node: id})
-		return
-	}
-	s.met.LogoffCount++
-	s.logoff(id, now)
-	s.emit(trace.Event{Kind: trace.KindLogoff, Node: id})
 }
 
 // login wires a fresh node into the network with random neighbors —
@@ -374,20 +336,21 @@ func (s *Sim) setOnline(id topology.NodeID, on bool, now float64) {
 // configuration and the changes are purely random").
 func (s *Sim) login(id topology.NodeID) {
 	candidates := s.onlineCandidates(id)
-	topology.RandomAttach(s.network, id, candidates, s.cfg.Neighbors, s.topoStream.Intn)
+	topology.RandomAttach(s.sess.Network(), id, candidates, s.cfg.Neighbors, s.sess.TopoStream().Intn)
 }
 
 // logoff removes the node from the network; its ex-neighbors react per
 // the mode ("neighbor log-offs trigger the update process").
-func (s *Sim) logoff(id topology.NodeID, now float64) {
-	neighbors := s.network.Node(id).Out.Snapshot()
-	s.network.Isolate(id)
+func (s *Sim) logoff(id topology.NodeID, _ float64) {
+	net := s.sess.Network()
+	neighbors := net.Node(id).Out.Snapshot()
+	net.Isolate(id)
 	s.reqCount[id] = 0
 	if s.trials != nil {
 		s.trials.Drop(id)
 	}
 	for _, n := range neighbors {
-		if !s.online[n] {
+		if !s.sess.IsOnline(n) {
 			continue
 		}
 		if s.cfg.Mode == Dynamic {
@@ -398,18 +361,19 @@ func (s *Sim) logoff(id topology.NodeID, now float64) {
 		// randomly; the dynamic variant only tops up what benefit-based
 		// invitations could not fill, keeping the network connected
 		// while statistics are still sparse.
-		if deficit := s.cfg.Neighbors - s.network.Node(n).Out.Len(); deficit > 0 {
-			topology.RandomAttach(s.network, n, s.onlineCandidates(n), deficit, s.topoStream.Intn)
+		if deficit := s.cfg.Neighbors - net.Node(n).Out.Len(); deficit > 0 {
+			topology.RandomAttach(net, n, s.onlineCandidates(n), deficit, s.sess.TopoStream().Intn)
 		}
 	}
 }
 
 // onlineCandidates lists all on-line nodes except self.
 func (s *Sim) onlineCandidates(self topology.NodeID) []topology.NodeID {
-	out := make([]topology.NodeID, 0, len(s.online)/2)
-	for i, on := range s.online {
-		if on && topology.NodeID(i) != self {
-			out = append(out, topology.NodeID(i))
+	n := s.cfg.Music.Users
+	out := make([]topology.NodeID, 0, n/2)
+	for i := 0; i < n; i++ {
+		if id := topology.NodeID(i); id != self && s.sess.IsOnline(id) {
+			out = append(out, id)
 		}
 	}
 	return out
@@ -417,18 +381,17 @@ func (s *Sim) onlineCandidates(self topology.NodeID) []topology.NodeID {
 
 // issueQuery runs Send_Query for one end-user request.
 func (s *Sim) issueQuery(id topology.NodeID, now float64) {
-	song := workload.SampleQuery(s.catalog, s.queryStreams[id], s.users[id])
+	song := workload.SampleQuery(s.catalog, s.sess.QueryStream(id), s.users[id])
 	s.met.Queries.Incr(now)
-	s.queryID++
-	outcome := s.runSearch(search.Query{
-		ID:     uint64(s.queryID),
+	outcome := s.sess.Do(search.Query{
+		ID:     s.sess.NextQueryID(),
 		Key:    song,
 		Origin: id,
 	})
-	s.emit(trace.Event{Kind: trace.KindQuery, Node: id, Key: uint64(song), N: int(outcome.Messages)})
+	s.sess.Emit(trace.Event{Kind: trace.KindQuery, Node: id, Key: uint64(song), N: int(outcome.Messages)})
 	if outcome.Found() {
 		s.met.Hits.Incr(now)
-		s.emit(trace.Event{Kind: trace.KindHit, Node: id, Key: uint64(song),
+		s.sess.Emit(trace.Event{Kind: trace.KindHit, Node: id, Key: uint64(song),
 			Peer: outcome.Hits[0].Holder, N: len(outcome.Hits)})
 		s.met.TotalResults += uint64(len(outcome.Hits))
 		s.met.FirstResultDelay.Observe(outcome.FirstResultDelay)
@@ -466,40 +429,27 @@ func (s *Sim) issueQuery(id topology.NodeID, now float64) {
 type updateEnv Sim
 
 // Net implements core.SymmetricEnv.
-func (e *updateEnv) Net() *topology.Network { return e.network }
+func (e *updateEnv) Net() *topology.Network { return e.sess.Network() }
 
 // Ledger implements core.SymmetricEnv.
 func (e *updateEnv) Ledger(id topology.NodeID) *stats.Ledger { return e.ledgers[id] }
 
 // Online implements core.SymmetricEnv.
-func (e *updateEnv) Online(id topology.NodeID) bool { return e.online[id] }
+func (e *updateEnv) Online(id topology.NodeID) bool { return e.sess.IsOnline(id) }
 
 // Control implements core.SymmetricEnv.
 func (e *updateEnv) Control(kind netsim.MessageKind, from, to topology.NodeID) {
-	e.met.Meter.Count(kind, e.engine.Now(), 1)
-	if e.cfg.Trace != nil {
-		switch kind {
-		case netsim.MsgInvite:
-			(*Sim)(e).emit(trace.Event{Kind: trace.KindInvite, Node: from, Peer: to})
-		case netsim.MsgEvict:
-			(*Sim)(e).emit(trace.Event{Kind: trace.KindEvict, Node: from, Peer: to})
-		}
+	e.met.Meter.Count(kind, e.sess.Now(), 1)
+	switch kind {
+	case netsim.MsgInvite:
+		e.sess.Emit(trace.Event{Kind: trace.KindInvite, Node: from, Peer: to})
+	case netsim.MsgEvict:
+		e.sess.Emit(trace.Event{Kind: trace.KindEvict, Node: from, Peer: to})
 	}
 }
 
 // ResetCounter implements core.SymmetricEnv.
 func (e *updateEnv) ResetCounter(id topology.NodeID) { e.reqCount[id] = 0 }
-
-// emit records a trace event when tracing is enabled.
-func (s *Sim) emit(e trace.Event) {
-	if s.cfg.Trace != nil {
-		e.T = s.engine.Now()
-		s.cfg.Trace.Record(e)
-	}
-}
-
-// IsOnline reports whether a node is currently on-line.
-func (s *Sim) IsOnline(id topology.NodeID) bool { return s.online[id] }
 
 // drift re-rolls the preference profile of DriftFraction of the users:
 // a fresh favorite category and fresh secondary categories, sampled
@@ -507,7 +457,7 @@ func (s *Sim) IsOnline(id topology.NodeID) bool { return s.online[id] }
 // follow the new profile immediately.
 func (s *Sim) drift() {
 	for i, u := range s.users {
-		st := s.queryStreams[i]
+		st := s.sess.QueryStream(topology.NodeID(i))
 		if !st.Bernoulli(s.cfg.DriftFraction) {
 			continue
 		}

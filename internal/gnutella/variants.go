@@ -1,10 +1,10 @@
 package gnutella
 
 import (
-	"context"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/driver"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -145,9 +145,10 @@ type Variant struct {
 
 // variantOptions translates the variant into pkg/search Engine options
 // and installs its non-search side effects (updater benefit, trial
-// tracking, the index radius). Called from New while assembling the
-// facade.
-func (s *Sim) variantOptions() []search.Option {
+// tracking, the index radius). Called from the driver's Search hook
+// while assembling the facade; sess is the session under construction
+// (streams and network exist, the engine does not yet).
+func (s *Sim) variantOptions(sess *driver.Session) []search.Option {
 	v := s.cfg.Variant
 	s.updater.Benefit = v.Benefit.benefit()
 
@@ -162,7 +163,7 @@ func (s *Sim) variantOptions() []search.Option {
 			search.WithForward(core.DirectedBFT{K: 2, Benefit: v.Benefit.benefit()}),
 			search.WithLedgers(func(id topology.NodeID) *stats.Ledger { return s.ledgers[id] }))
 	case ForwardRandom2:
-		opts = append(opts, search.WithForward(core.RandomK{K: 2, Intn: s.topoStream.Intn}))
+		opts = append(opts, search.WithForward(core.RandomK{K: 2, Intn: sess.TopoStream().Intn}))
 	default:
 		panic(fmt.Sprintf("gnutella: unknown forward kind %d", v.Forward))
 	}
@@ -179,8 +180,8 @@ func (s *Sim) variantOptions() []search.Option {
 	if v.UseLocalIndices {
 		ix := core.IndexFunc(func(at topology.NodeID, key core.Key) []topology.NodeID {
 			var holders []topology.NodeID
-			for _, nb := range s.network.Out(at) {
-				if s.online[nb] && s.users[nb].Has(key) {
+			for _, nb := range sess.Network().Out(at) {
+				if sess.IsOnline(nb) && s.users[nb].Has(key) {
 					holders = append(holders, nb)
 				}
 			}
@@ -192,17 +193,6 @@ func (s *Sim) variantOptions() []search.Option {
 	return opts
 }
 
-// runSearch executes one search through the facade; the engine carries
-// the variant's whole configuration (policy, deepening schedule,
-// index-shortened TTL), so queries need only say what and from where.
-func (s *Sim) runSearch(q search.Query) search.Result {
-	out, err := s.searcher.Do(context.Background(), q)
-	if err != nil {
-		panic(err) // only malformed queries error; ours are well-formed
-	}
-	return out
-}
-
 // applyUpdate dispatches the reconfiguration to the selected regime.
 func (s *Sim) applyUpdate(id topology.NodeID) {
 	switch s.cfg.Variant.Update {
@@ -210,13 +200,13 @@ func (s *Sim) applyUpdate(id topology.NodeID) {
 		rep := s.updater.Reconfigure((*updateEnv)(s), id)
 		if rep.Changed() {
 			s.met.Reconfigurations++
-			s.emit(trace.Event{Kind: trace.KindReconfig, Node: id, N: len(rep.Accepted) + len(rep.Evicted)})
+			s.sess.Emit(trace.Event{Kind: trace.KindReconfig, Node: id, N: len(rep.Accepted) + len(rep.Evicted)})
 		}
 		if s.trials != nil {
 			// Each acceptor hosted our node without prior statistics;
 			// the relationship is on probation.
 			for _, host := range rep.Accepted {
-				s.trials.Begin(s.engine.Now(), host, id)
+				s.trials.Begin(s.sess.Now(), host, id)
 			}
 		}
 	case AsymmetricUpdate:
@@ -224,9 +214,9 @@ func (s *Sim) applyUpdate(id topology.NodeID) {
 		// was built symmetric for the default regime, so the ablation
 		// uses a dedicated asymmetric network (see New).
 		desired := core.PlanAsymmetric(s.ledgers[id], s.updater.Benefit, s.cfg.Neighbors,
-			s.network.Node(id).Out.IDs(),
-			func(p topology.NodeID) bool { return p != id && s.online[p] })
-		added, removed := core.ApplyOutList(s.network, id, desired)
+			s.sess.Network().Node(id).Out.IDs(),
+			func(p topology.NodeID) bool { return p != id && s.sess.IsOnline(p) })
+		added, removed := core.ApplyOutList(s.sess.Network(), id, desired)
 		s.reqCount[id] = 0
 		if len(added) > 0 || len(removed) > 0 {
 			s.met.Reconfigurations++

@@ -9,13 +9,17 @@
 // Searches are two-hop, first-result-terminated, chunk by chunk (the
 // initiating peer "decomposes [the query] into chunks, and broadcasts
 // the request for the chunks").
+//
+// The timeline (placement, Poisson query arrivals, search dispatch)
+// lives in internal/driver; this package keeps only the domain: the
+// cube workload, chunk caches, and the cost-saved reconfiguration.
 package peerolap
 
 import (
-	"context"
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/driver"
 	"repro/internal/lru"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
@@ -142,26 +146,21 @@ func (m *Metrics) PeerHitRatio(from, to int) float64 {
 	return m.PeerChunks.Window(from, to) / req
 }
 
-// Sim is one bound PeerOlap run.
+// Sim is one bound PeerOlap run: the shared session driver plus the
+// OLAP domain state.
 type Sim struct {
-	cfg      Config
-	engine   *sim.Engine
-	network  *topology.Network
-	cube     *workload.Cube
-	regions  []int
-	classes  []netsim.BandwidthClass
-	caches   []*lru.LRU
-	ledgers  []*stats.Ledger
-	queries  []int // issued queries since last reconfiguration
-	met      *Metrics
-	benefit  stats.Benefit
-	searcher *search.Engine
+	cfg     Config
+	sess    *driver.Session
+	cube    *workload.Cube
+	regions []int
+	classes []netsim.BandwidthClass
+	caches  []*lru.LRU
+	ledgers []*stats.Ledger
+	queries []int // issued queries since last reconfiguration
+	met     *Metrics
+	benefit stats.Benefit
 
-	qStreams    []*rng.Stream
-	topoStream  *rng.Stream
-	delayStream *rng.Stream
-	costStream  *rng.Stream
-	queryID     core.QueryID
+	costStream *rng.Stream
 }
 
 // New builds a run without starting it.
@@ -173,20 +172,14 @@ func New(cfg Config) *Sim {
 	cube := workload.NewCube(cfg.Olap)
 	n := cfg.Olap.Peers
 	s := &Sim{
-		cfg:         cfg,
-		engine:      sim.New(),
-		network:     topology.NewNetwork(topology.PureAsymmetric, n, cfg.Neighbors, 0),
-		cube:        cube,
-		regions:     cube.AssignRegions(root.Split()),
-		classes:     netsim.AssignClasses(root.Split().Intn, n),
-		caches:      make([]*lru.LRU, n),
-		ledgers:     make([]*stats.Ledger, n),
-		queries:     make([]int, n),
-		qStreams:    root.SplitN(n),
-		topoStream:  root.Split(),
-		delayStream: root.Split(),
-		costStream:  root.Split(),
-		benefit:     stats.CostSaved{},
+		cfg:     cfg,
+		cube:    cube,
+		regions: cube.AssignRegions(root.Split()),
+		classes: netsim.AssignClasses(root.Split().Intn, n),
+		caches:  make([]*lru.LRU, n),
+		ledgers: make([]*stats.Ledger, n),
+		queries: make([]int, n),
+		benefit: stats.CostSaved{},
 		met: &Metrics{
 			Queries:         metrics.NewSeries(3600),
 			ChunkRequests:   metrics.NewSeries(3600),
@@ -200,73 +193,57 @@ func New(cfg Config) *Sim {
 		s.caches[i] = lru.New(cfg.CacheChunks)
 		s.ledgers[i] = stats.NewLedger()
 	}
-	eng, err := search.New(search.Over((*peerGraph)(s), core.ContentFunc(s.hasChunk)),
-		search.WithPolicy("flood"),
-		search.WithDelay(s.sampleDelay),
-		search.WithTTL(cfg.SearchTTL),
-		search.WithMaxResults(1),
-		search.WithScratchHint(n))
+	sess, err := driver.New(driver.Spec{
+		Nodes:    n,
+		Relation: topology.PureAsymmetric,
+		OutCap:   cfg.Neighbors,
+		Duration: float64(cfg.DurationHours) * 3600,
+		Place:    driver.RandomWire(cfg.Neighbors),
+		Arrivals: driver.Poisson{RatePerHour: cfg.Olap.QueriesPerHour},
+		Content:  core.ContentFunc(s.hasChunk),
+		Classes:  func(id topology.NodeID) netsim.BandwidthClass { return s.classes[id] },
+		TTL:      cfg.SearchTTL,
+		Search: func(*driver.Session) []search.Option {
+			return []search.Option{
+				search.WithPolicy("flood"),
+				search.WithMaxResults(1),
+			}
+		},
+		OnQuery: s.issueQuery,
+	}, root)
 	if err != nil {
 		panic(err)
 	}
-	s.searcher = eng
+	s.sess = sess
+	// The warehouse/peer cost stream splits after the session streams,
+	// preserving the historical root layout.
+	s.costStream = root.Split()
 	return s
 }
-
-// peerGraph adapts Sim to core.Graph; peers never churn.
-type peerGraph Sim
-
-// Out implements core.Graph.
-func (g *peerGraph) Out(id topology.NodeID) []topology.NodeID { return g.network.Out(id) }
-
-// Online implements core.Graph.
-func (g *peerGraph) Online(topology.NodeID) bool { return true }
 
 func (s *Sim) hasChunk(id topology.NodeID, key core.Key) bool {
 	return s.caches[id].Contains(key)
 }
 
-func (s *Sim) sampleDelay(from, to topology.NodeID) float64 {
-	return netsim.OneWayDelay(s.delayStream, s.classes[from], s.classes[to])
-}
-
 // Engine exposes the simulator.
-func (s *Sim) Engine() *sim.Engine { return s.engine }
+func (s *Sim) Engine() *sim.Engine { return s.sess.Engine() }
 
 // Network exposes the neighbor graph.
-func (s *Sim) Network() *topology.Network { return s.network }
+func (s *Sim) Network() *topology.Network { return s.sess.Network() }
 
 // Metrics returns the collected measurements.
 func (s *Sim) Metrics() *Metrics { return s.met }
 
 // Run executes the configured duration.
 func (s *Sim) Run() *Metrics {
-	horizon := float64(s.cfg.DurationHours) * 3600
-	s.engine.SetHorizon(horizon)
-	s.start()
-	s.engine.RunUntil(horizon)
+	s.sess.Run()
 	return s.met
-}
-
-func (s *Sim) start() {
-	topology.RandomWire(s.network, s.cfg.Neighbors, s.topoStream.Intn)
-	mean := 3600 / s.cfg.Olap.QueriesPerHour
-	for i := 0; i < s.cfg.Olap.Peers; i++ {
-		id := topology.NodeID(i)
-		st := s.qStreams[i]
-		var tick func(en *sim.Engine)
-		tick = func(en *sim.Engine) {
-			s.issueQuery(id, en.Now())
-			en.In(st.Exp(mean), tick)
-		}
-		s.engine.In(st.Exp(mean), tick)
-	}
 }
 
 // issueQuery decomposes one OLAP query into chunks and resolves each:
 // local cache, then a TTL-bounded peer search, then the warehouse.
 func (s *Sim) issueQuery(id topology.NodeID, now float64) {
-	chunks := s.cube.SampleQuery(s.qStreams[id], s.regions[id])
+	chunks := s.cube.SampleQuery(s.sess.QueryStream(id), s.regions[id])
 	s.met.Queries.Incr(now)
 	led := s.ledgers[id]
 	totalCost := 0.0
@@ -277,18 +254,14 @@ func (s *Sim) issueQuery(id topology.NodeID, now float64) {
 			s.met.LocalChunks.Incr(now)
 			continue
 		}
-		s.queryID++
-		outcome, err := s.searcher.Do(context.Background(), search.Query{
-			ID:     uint64(s.queryID),
+		outcome := s.sess.Do(search.Query{
+			ID:     s.sess.NextQueryID(),
 			Key:    ch,
 			Origin: id,
 			OnMessage: func(_, _ topology.NodeID) {
 				s.met.Meter.Count(netsim.MsgQuery, now, 1)
 			},
 		})
-		if err != nil {
-			panic(err)
-		}
 		warehouse := s.costStream.BoundedNormal(s.cfg.WarehouseCostMean, s.cfg.WarehouseCostMean/4,
 			s.cfg.WarehouseCostMean/2, s.cfg.WarehouseCostMean*2)
 		if outcome.Found() {
@@ -327,10 +300,11 @@ func (s *Sim) issueQuery(id topology.NodeID, now float64) {
 
 // reconfigure runs Algo 3: unilateral top-K update by saved cost.
 func (s *Sim) reconfigure(id topology.NodeID) {
+	net := s.sess.Network()
 	desired := core.PlanAsymmetric(s.ledgers[id], s.benefit, s.cfg.Neighbors,
-		s.network.Node(id).Out.IDs(),
+		net.Node(id).Out.IDs(),
 		func(p topology.NodeID) bool { return p != id })
-	added, removed := core.ApplyOutList(s.network, id, desired)
+	added, removed := core.ApplyOutList(net, id, desired)
 	if len(added) > 0 || len(removed) > 0 {
 		s.met.Reconfigurations++
 	}

@@ -8,14 +8,19 @@
 //
 // The benefit function is the paper's web-proxy suggestion: "the number
 // of retrieved pages, combined with the end-to-end latency".
+//
+// The timeline (placement, Poisson request arrivals, search dispatch)
+// lives in internal/driver; this package keeps only the domain: the
+// page workload, LRU caches with Bloom digests, and the
+// explore/reconfigure processes.
 package webcache
 
 import (
-	"context"
 	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/digest"
+	"repro/internal/driver"
 	"repro/internal/lru"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
@@ -145,11 +150,11 @@ func (m *Metrics) NeighborHitRatio(from, to int) float64 {
 	return m.NeighborHits.Window(from, to) / req
 }
 
-// Sim is one bound web-caching run.
+// Sim is one bound web-caching run: the shared session driver plus the
+// proxy-cache domain state.
 type Sim struct {
 	cfg       Config
-	engine    *sim.Engine
-	network   *topology.Network
+	sess      *driver.Session
 	space     *workload.WebSpace
 	interests []int
 	classes   []netsim.BandwidthClass
@@ -159,11 +164,6 @@ type Sim struct {
 	recent    [][]workload.PageID // recent misses, probe candidates
 	met       *Metrics
 	benefit   stats.Benefit
-
-	reqStreams  []*rng.Stream
-	topoStream  *rng.Stream
-	delayStream *rng.Stream
-	searcher    *search.Engine
 }
 
 // New builds a run without starting it.
@@ -175,20 +175,15 @@ func New(cfg Config) *Sim {
 	space := workload.NewWebSpace(cfg.Web)
 	n := cfg.Web.Proxies
 	s := &Sim{
-		cfg:         cfg,
-		engine:      sim.New(),
-		network:     topology.NewNetwork(topology.PureAsymmetric, n, cfg.Neighbors, 0),
-		space:       space,
-		interests:   space.AssignInterests(root.Split()),
-		classes:     netsim.AssignClasses(root.Split().Intn, n),
-		caches:      make([]*lru.LRU, n),
-		digests:     make([]*digest.Bloom, n),
-		ledgers:     make([]*stats.Ledger, n),
-		recent:      make([][]workload.PageID, n),
-		reqStreams:  root.SplitN(n),
-		topoStream:  root.Split(),
-		delayStream: root.Split(),
-		benefit:     stats.HitRatePerLatency{Smoothing: 8},
+		cfg:       cfg,
+		space:     space,
+		interests: space.AssignInterests(root.Split()),
+		classes:   netsim.AssignClasses(root.Split().Intn, n),
+		caches:    make([]*lru.LRU, n),
+		digests:   make([]*digest.Bloom, n),
+		ledgers:   make([]*stats.Ledger, n),
+		recent:    make([][]workload.PageID, n),
+		benefit:   stats.HitRatePerLatency{Smoothing: 8},
 		met: &Metrics{
 			Requests:      metrics.NewSeries(3600),
 			LocalHits:     metrics.NewSeries(3600),
@@ -202,96 +197,85 @@ func New(cfg Config) *Sim {
 		s.digests[i] = digest.NewBloom(cfg.CacheCapacity, 0.01)
 		s.ledgers[i] = stats.NewLedger()
 	}
-	// Policies are registry-selected by name — the digest-guided family
-	// gets its oracle via WithDigest. No fallback: a proxy that digests
-	// say cannot help is skipped; the origin server is the safety net.
+	sess, err := driver.New(driver.Spec{
+		Nodes:    n,
+		Relation: topology.PureAsymmetric,
+		OutCap:   cfg.Neighbors,
+		Duration: float64(cfg.DurationHours) * 3600,
+		// Initial random wiring for both variants; proxies never churn.
+		Place:    driver.RandomWire(cfg.Neighbors),
+		Arrivals: driver.Poisson{RatePerHour: cfg.Web.RequestsPerHour},
+		Content:  core.ContentFunc(s.hasPage),
+		Classes:  func(id topology.NodeID) netsim.BandwidthClass { return s.classes[id] },
+		Search:   s.searchOptions,
+		OnQuery:  s.handleRequest,
+		After:    s.scheduleDynamicProcesses,
+	}, root)
+	if err != nil {
+		panic(err)
+	}
+	s.sess = sess
+	return s
+}
+
+// searchOptions assembles the facade. Policies are registry-selected
+// by name — the digest-guided family gets its oracle via WithDigest.
+// No fallback: a proxy that digests say cannot help is skipped; the
+// origin server is the safety net.
+func (s *Sim) searchOptions(*driver.Session) []search.Option {
 	policy := search.WithPolicy("flood")
-	var digestOpts []search.Option
-	if cfg.UseDigests {
+	var opts []search.Option
+	if s.cfg.UseDigests {
 		policy = search.WithPolicy("digest-guided")
-		digestOpts = append(digestOpts, search.WithDigest(
+		opts = append(opts, search.WithDigest(
 			func(id topology.NodeID, key core.Key) bool {
 				return s.digests[id].Contains(key)
 			}, nil))
 	}
-	eng, err := search.New(search.Over((*proxyGraph)(s), core.ContentFunc(s.hasPage)),
-		append(digestOpts,
-			policy,
-			search.WithDelay(s.sampleDelay),
-			// "most Squid implementations define the number of hops to
-			// be 1"; the first result terminates the search.
-			search.WithTTL(1),
-			search.WithMaxResults(1),
-			search.WithScratchHint(n))...)
-	if err != nil {
-		panic(err)
-	}
-	s.searcher = eng
-	return s
+	return append(opts,
+		policy,
+		// "most Squid implementations define the number of hops to
+		// be 1"; the first result terminates the search.
+		search.WithTTL(1),
+		search.WithMaxResults(1))
 }
-
-// proxyGraph adapts Sim to core.Graph; proxies never churn.
-type proxyGraph Sim
-
-// Out implements core.Graph.
-func (g *proxyGraph) Out(id topology.NodeID) []topology.NodeID { return g.network.Out(id) }
-
-// Online implements core.Graph.
-func (g *proxyGraph) Online(topology.NodeID) bool { return true }
 
 func (s *Sim) hasPage(id topology.NodeID, key core.Key) bool {
 	return s.caches[id].Contains(key)
 }
 
-func (s *Sim) sampleDelay(from, to topology.NodeID) float64 {
-	return netsim.OneWayDelay(s.delayStream, s.classes[from], s.classes[to])
-}
-
 // Engine exposes the simulator.
-func (s *Sim) Engine() *sim.Engine { return s.engine }
+func (s *Sim) Engine() *sim.Engine { return s.sess.Engine() }
 
 // Network exposes the neighbor graph.
-func (s *Sim) Network() *topology.Network { return s.network }
+func (s *Sim) Network() *topology.Network { return s.sess.Network() }
 
 // Metrics returns the collected measurements.
 func (s *Sim) Metrics() *Metrics { return s.met }
 
 // Run executes the configured duration.
 func (s *Sim) Run() *Metrics {
-	horizon := float64(s.cfg.DurationHours) * 3600
-	s.engine.SetHorizon(horizon)
-	s.start()
-	s.engine.RunUntil(horizon)
+	s.sess.Run()
 	return s.met
 }
 
-func (s *Sim) start() {
-	n := s.cfg.Web.Proxies
-	// Initial random wiring for both variants.
-	topology.RandomWire(s.network, s.cfg.Neighbors, s.topoStream.Intn)
-
-	for i := 0; i < n; i++ {
-		id := topology.NodeID(i)
-		st := s.reqStreams[i]
-		mean := 3600 / s.cfg.Web.RequestsPerHour
-		var tick func(en *sim.Engine)
-		tick = func(en *sim.Engine) {
-			s.handleRequest(id, en.Now())
-			en.In(st.Exp(mean), tick)
-		}
-		s.engine.In(st.Exp(mean), tick)
-	}
+// scheduleDynamicProcesses arms Algo 2/3 tickers after the driver has
+// armed every request process (so the stagger draws stay behind the
+// placement draws on the topology stream).
+func (s *Sim) scheduleDynamicProcesses() {
 	if s.cfg.Mode != Dynamic {
 		return
 	}
-	for i := 0; i < n; i++ {
+	en := s.sess.Engine()
+	topo := s.sess.TopoStream()
+	for i := 0; i < s.cfg.Web.Proxies; i++ {
 		id := topology.NodeID(i)
 		// Stagger periodic processes so proxies do not reconfigure in
 		// lockstep.
-		off := s.topoStream.Float64()
-		s.engine.Ticker((off+0.02)*s.cfg.ExplorePeriodHours*3600, s.cfg.ExplorePeriodHours*3600,
+		off := topo.Float64()
+		en.Ticker((off+0.02)*s.cfg.ExplorePeriodHours*3600, s.cfg.ExplorePeriodHours*3600,
 			func(en *sim.Engine) { s.explore(id, en.Now()) })
-		s.engine.Ticker((off+0.51)*s.cfg.ReconfigPeriodHours*3600, s.cfg.ReconfigPeriodHours*3600,
+		en.Ticker((off+0.51)*s.cfg.ReconfigPeriodHours*3600, s.cfg.ReconfigPeriodHours*3600,
 			func(en *sim.Engine) { s.reconfigure(id) })
 	}
 }
@@ -300,7 +284,7 @@ func (s *Sim) start() {
 // "On End-user Request Arrival" with the web-caching parameters:
 // hops = 1, first result terminates, origin fallback).
 func (s *Sim) handleRequest(id topology.NodeID, now float64) {
-	page := s.space.SampleRequest(s.reqStreams[id], s.interests[id])
+	page := s.space.SampleRequest(s.sess.QueryStream(id), s.interests[id])
 	s.met.Requests.Incr(now)
 
 	if s.caches[id].Get(page) {
@@ -313,7 +297,7 @@ func (s *Sim) handleRequest(id topology.NodeID, now float64) {
 	// cooperation answers every probe with HIT or MISS, and both
 	// observations feed the benefit statistics.
 	var probed []topology.NodeID
-	outcome, err := s.searcher.Do(context.Background(), search.Query{
+	outcome := s.sess.Do(search.Query{
 		ID:     uint64(id)<<40 | uint64(s.met.Requests.Total()),
 		Key:    page,
 		Origin: id,
@@ -324,9 +308,6 @@ func (s *Sim) handleRequest(id topology.NodeID, now float64) {
 			}
 		},
 	})
-	if err != nil {
-		panic(err)
-	}
 
 	led := s.ledgers[id]
 	holder := topology.None
@@ -336,14 +317,14 @@ func (s *Sim) handleRequest(id topology.NodeID, now float64) {
 	for _, nb := range probed {
 		rec := led.Touch(nb)
 		rec.Replies++
-		rec.LatencySum += 2 * s.sampleDelay(id, nb) // probe round trip
+		rec.LatencySum += 2 * s.sess.SampleDelay(id, nb) // probe round trip
 		rec.LastSeen = now
 	}
 	if outcome.Found() {
 		res := outcome.Hits[0]
 		s.met.NeighborHits.Incr(now)
 		// Fetch costs one more round trip to the serving neighbor.
-		fetch := 2 * s.sampleDelay(id, res.Holder)
+		fetch := 2 * s.sess.SampleDelay(id, res.Holder)
 		s.met.Latency.Observe(res.Delay + fetch)
 		rec := led.Touch(holder)
 		rec.Hits++
@@ -352,7 +333,7 @@ func (s *Sim) handleRequest(id topology.NodeID, now float64) {
 		// Origin fallback: the web server plays the alternative
 		// repository role, so no deeper search is attempted.
 		s.met.OriginFetches.Incr(now)
-		d := s.delayStream.BoundedNormal(s.cfg.OriginDelayMean, 0.2,
+		d := s.sess.DelayStream().BoundedNormal(s.cfg.OriginDelayMean, 0.2,
 			s.cfg.OriginDelayMean/2, s.cfg.OriginDelayMean*2)
 		s.met.Latency.Observe(d)
 		s.rememberMiss(id, page)
@@ -397,7 +378,7 @@ func (s *Sim) explore(id topology.NodeID, now float64) {
 	if len(probes) > s.cfg.ExploreProbes {
 		probes = probes[len(probes)-s.cfg.ExploreProbes:]
 	}
-	out, err := s.searcher.Explore(context.Background(), search.Exploration{
+	out := s.sess.Explore(search.Exploration{
 		Keys:   append([]workload.PageID(nil), probes...),
 		Origin: id,
 		TTL:    s.cfg.ExploreTTL,
@@ -405,19 +386,17 @@ func (s *Sim) explore(id topology.NodeID, now float64) {
 			s.met.Meter.Count(netsim.MsgExplore, now, 1)
 		},
 	})
-	if err != nil {
-		panic(err)
-	}
 	core.RecordFindings(s.ledgers[id], out, now, func(topology.NodeID) float64 { return 1 })
 }
 
 // reconfigure runs Algo 3 for one proxy: unilateral top-K update of the
 // outgoing list by hits-per-latency benefit.
 func (s *Sim) reconfigure(id topology.NodeID) {
+	net := s.sess.Network()
 	desired := core.PlanAsymmetric(s.ledgers[id], s.benefit, s.cfg.Neighbors,
-		s.network.Node(id).Out.IDs(),
+		net.Node(id).Out.IDs(),
 		func(p topology.NodeID) bool { return p != id })
-	added, removed := core.ApplyOutList(s.network, id, desired)
+	added, removed := core.ApplyOutList(net, id, desired)
 	if len(added) > 0 || len(removed) > 0 {
 		s.met.Reconfigurations++
 	}

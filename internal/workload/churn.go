@@ -44,9 +44,12 @@ func (c ChurnConfig) StationaryOnlineProbability() float64 {
 // memorylessness of the exponential, the remaining session time is a
 // fresh draw. set is invoked immediately for the initial state (at the
 // engine's current time) and on every subsequent transition.
-func ScheduleChurn(e *sim.Engine, s *rng.Stream, cfg ChurnConfig, set func(online bool, now float64)) {
+//
+// An invalid cfg returns its validation error before anything is
+// scheduled or drawn from s; the engine and stream are untouched.
+func ScheduleChurn(e *sim.Engine, s *rng.Stream, cfg ChurnConfig, set func(online bool, now float64)) error {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return err
 	}
 	online := s.Bernoulli(cfg.StationaryOnlineProbability())
 	set(online, e.Now())
@@ -66,6 +69,7 @@ func ScheduleChurn(e *sim.Engine, s *rng.Stream, cfg ChurnConfig, set func(onlin
 		mean = cfg.MeanOnline
 	}
 	e.In(s.Exp(mean), flip)
+	return nil
 }
 
 // QueryConfig models query issuing: "when on-line, each user will issue

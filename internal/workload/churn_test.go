@@ -27,6 +27,20 @@ func TestChurnValidate(t *testing.T) {
 	}
 }
 
+func TestScheduleChurnRejectsInvalidConfig(t *testing.T) {
+	e := sim.New()
+	s := rng.New(1)
+	err := ScheduleChurn(e, s, ChurnConfig{MeanOnline: -1, MeanOffline: 1}, func(bool, float64) {
+		t.Fatal("set invoked for invalid config")
+	})
+	if err == nil {
+		t.Fatal("invalid churn config accepted")
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("%d events scheduled despite the error", e.Pending())
+	}
+}
+
 func TestChurnStationaryFraction(t *testing.T) {
 	// Simulate many users over a long horizon; the average on-line
 	// fraction must match the stationary probability.
@@ -41,13 +55,16 @@ func TestChurnStationaryFraction(t *testing.T) {
 	root := rng.New(42)
 	for i := 0; i < users; i++ {
 		i := i
-		ScheduleChurn(e, root.Split(), cfg, func(on bool, now float64) {
+		err := ScheduleChurn(e, root.Split(), cfg, func(on bool, now float64) {
 			if online[i] {
 				onTime += now - last[i]
 			}
 			online[i] = on
 			last[i] = now
 		})
+		if err != nil {
+			t.Fatal(err)
+		}
 	}
 	e.RunUntil(horizon)
 	for i := 0; i < users; i++ {
@@ -65,9 +82,11 @@ func TestChurnAlternates(t *testing.T) {
 	e := sim.New()
 	e.SetHorizon(1e6)
 	var states []bool
-	ScheduleChurn(e, rng.New(1), DefaultChurnConfig(), func(on bool, _ float64) {
+	if err := ScheduleChurn(e, rng.New(1), DefaultChurnConfig(), func(on bool, _ float64) {
 		states = append(states, on)
-	})
+	}); err != nil {
+		t.Fatal(err)
+	}
 	e.RunUntil(1e6)
 	if len(states) < 10 {
 		t.Fatalf("only %d transitions in 1e6s", len(states))
@@ -79,13 +98,10 @@ func TestChurnAlternates(t *testing.T) {
 	}
 }
 
-func TestChurnBadConfigPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("bad churn config did not panic")
-		}
-	}()
-	ScheduleChurn(sim.New(), rng.New(1), ChurnConfig{}, func(bool, float64) {})
+func TestChurnBadConfigErrors(t *testing.T) {
+	if err := ScheduleChurn(sim.New(), rng.New(1), ChurnConfig{}, func(bool, float64) {}); err == nil {
+		t.Fatal("bad churn config accepted")
+	}
 }
 
 func TestQueryConfigDefaults(t *testing.T) {
