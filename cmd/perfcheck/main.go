@@ -19,7 +19,16 @@
 //
 // To refresh the baseline after an intentional change, run with
 // -update (rewrites the -baseline file from the current run, skipping
-// the gate) and commit the file.
+// the gate) and commit the file. -update refuses to run on a dirty
+// working tree — a refreshed baseline must be attributable to exactly
+// one commit; pass -allow-dirty to override.
+//
+// Beyond the one-commit baseline gate, perfcheck tracks the cross-PR
+// trajectory: -history BENCH_history.json reports each entry's ns/op
+// and queries/sec movement against the latest recorded point (verdicts
+// regression / improvement / steady / no-prior — reported, never
+// gated), and -append-history -label pr7 records this run as the new
+// latest point.
 package main
 
 import (
@@ -27,19 +36,26 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"sort"
+	"strings"
 
 	"repro/internal/perf"
 )
 
 func main() {
 	var (
-		in       = flag.String("in", "", "bench output file (default stdin)")
-		out      = flag.String("out", "", "write parsed BENCH json here")
-		baseline = flag.String("baseline", "", "checked-in baseline BENCH json to gate against")
-		maxRatio = flag.Float64("max-ratio", 2, "fail when current allocs/op exceeds baseline*ratio")
-		metric   = flag.String("metric", "allocs/op", "comma-free metric name to gate on")
-		update   = flag.Bool("update", false, "rewrite the -baseline file from this run instead of gating")
+		in         = flag.String("in", "", "bench output file (default stdin)")
+		out        = flag.String("out", "", "write parsed BENCH json here")
+		baseline   = flag.String("baseline", "", "checked-in baseline BENCH json to gate against")
+		maxRatio   = flag.Float64("max-ratio", 2, "fail when current allocs/op exceeds baseline*ratio")
+		metric     = flag.String("metric", "allocs/op", "comma-free metric name to gate on")
+		update     = flag.Bool("update", false, "rewrite the -baseline file from this run instead of gating")
+		history    = flag.String("history", "", "trajectory BENCH_history json to report movement against")
+		appendHist = flag.Bool("append-history", false, "record this run as the -history file's new latest point")
+		label      = flag.String("label", "", "label for the appended history point (required with -append-history)")
+		allowDirty = flag.Bool("allow-dirty", false, "let -update/-append-history rewrite tracked files despite a dirty working tree")
+		trajTol    = flag.Float64("trajectory-tol", 1.10, "steady band for trajectory verdicts (ratio)")
 	)
 	flag.Parse()
 
@@ -68,6 +84,14 @@ func main() {
 		fmt.Fprintf(os.Stderr, "perfcheck: wrote %s\n", *out)
 	}
 
+	if *history != "" {
+		if err := runTrajectory(rep, *history, *appendHist, *label, *allowDirty, *trajTol); err != nil {
+			fatal(err)
+		}
+	} else if *appendHist {
+		fatal(fmt.Errorf("perfcheck: -append-history needs -history to know which file to extend"))
+	}
+
 	if *baseline == "" {
 		if *update {
 			fatal(fmt.Errorf("perfcheck: -update needs -baseline to know which file to rewrite"))
@@ -75,6 +99,7 @@ func main() {
 		return
 	}
 	if *update {
+		refuseDirty("-update", *baseline, *allowDirty)
 		if err := rep.Write(*baseline); err != nil {
 			fatal(err)
 		}
@@ -96,6 +121,78 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "perfcheck: %s within %.1fx of baseline for all %d entries\n",
 		*metric, *maxRatio, len(base.Entries))
+}
+
+// trajectoryMetrics are the movements worth a line in the report: the
+// wall-clock cost and the saturation throughput.
+var trajectoryMetrics = []string{"ns/op", "queries/sec"}
+
+// runTrajectory reports this run's movement against the history file's
+// latest point and, with append set, records the run as the new latest.
+// Movement verdicts are informational only — the trajectory is the
+// record CI keeps, not a gate.
+func runTrajectory(rep *perf.Report, path string, appendHist bool, label string, allowDirty bool, tol float64) error {
+	h, err := perf.ReadHistory(path)
+	if err != nil {
+		return err
+	}
+	prev := h.Latest()
+	if prev == nil {
+		fmt.Fprintf(os.Stderr, "perfcheck: trajectory %s is empty (every metric is no-prior)\n", path)
+	} else {
+		fmt.Fprintf(os.Stderr, "perfcheck: trajectory vs %q (reported, never gated):\n", prev.Label)
+	}
+	for _, m := range perf.Trajectory(prev, rep, tol, trajectoryMetrics...) {
+		fmt.Fprintf(os.Stderr, "  %s\n", m)
+	}
+	if !appendHist {
+		return nil
+	}
+	if label == "" {
+		return fmt.Errorf("perfcheck: -append-history needs -label to name the new point")
+	}
+	refuseDirty("-append-history", path, allowDirty)
+	h.Append(label, rep)
+	if err := h.WriteHistory(path); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "perfcheck: appended point %q to %s (%d points)\n", label, path, len(h.Points))
+	return nil
+}
+
+// refuseDirty aborts a tracked-file rewrite when the working tree has
+// uncommitted changes: a refreshed baseline or history point must be
+// attributable to exactly one commit, not a half-edited tree. Outside a
+// git checkout (or without git on PATH) it warns and proceeds — the
+// refusal is a guard for the development workflow, not a hard
+// dependency on git.
+func refuseDirty(op, path string, allowDirty bool) {
+	if allowDirty {
+		return
+	}
+	dirty, err := workingTreeStatus("")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "perfcheck: cannot check working tree (%v); proceeding with %s\n", err, op)
+		return
+	}
+	if dirty == "" {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "perfcheck: refusing %s of %s on a dirty working tree:\n", op, path)
+	for _, line := range strings.Split(dirty, "\n") {
+		fmt.Fprintf(os.Stderr, "  %s\n", line)
+	}
+	fmt.Fprintln(os.Stderr, "perfcheck: commit or stash first, or pass -allow-dirty to override")
+	os.Exit(1)
+}
+
+// workingTreeStatus returns `git status --porcelain` for dir (empty =
+// current directory), trimmed; empty output means a clean tree.
+func workingTreeStatus(dir string) (string, error) {
+	cmd := exec.Command("git", "status", "--porcelain")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	return strings.TrimSpace(string(out)), err
 }
 
 // reportTimeDeltas prints the per-entry ns/op movement against the

@@ -1,0 +1,125 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/perf"
+)
+
+// TestRunTrajectory drives the history reporting path end to end: an
+// empty history (all no-prior), a refused append without a label, an
+// append, and a second run whose movement is computed against the
+// appended point.
+func TestRunTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_history.json")
+
+	rep := perf.NewReport("go-bench")
+	rep.Add("BenchmarkEngineSaturation/n100k/w8", map[string]float64{
+		"ns/op": 1000, "queries/sec": 4e6,
+	})
+
+	// Report against a missing history: fine, everything is no-prior.
+	if err := runTrajectory(rep, path, false, "", true, 1.10); err != nil {
+		t.Fatalf("report-only against missing history: %v", err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatal("report-only run created the history file")
+	}
+
+	// Appending needs a label.
+	if err := runTrajectory(rep, path, true, "", true, 1.10); err == nil {
+		t.Fatal("append without -label succeeded")
+	}
+
+	if err := runTrajectory(rep, path, true, "pr6", true, 1.10); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	h, err := perf.ReadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Points) != 1 || h.Latest().Label != "pr6" {
+		t.Fatalf("history after append: %d points, latest %q", len(h.Points), h.Latest().Label)
+	}
+
+	// A second run compares against pr6 and stacks a second point.
+	rep2 := perf.NewReport("go-bench")
+	rep2.Add("BenchmarkEngineSaturation/n100k/w8", map[string]float64{
+		"ns/op": 900, "queries/sec": 4.4e6,
+	})
+	if err := runTrajectory(rep2, path, true, "pr7", true, 1.10); err != nil {
+		t.Fatalf("second append: %v", err)
+	}
+	h, err = perf.ReadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Points) != 2 || h.Latest().Label != "pr7" {
+		t.Fatalf("history after second append: %d points, latest %q", len(h.Points), h.Latest().Label)
+	}
+}
+
+// TestWorkingTreeStatus builds a throwaway git repository and checks the
+// dirty/clean detection the -update refusal is built on.
+func TestWorkingTreeStatus(t *testing.T) {
+	if _, err := exec.LookPath("git"); err != nil {
+		t.Skip("git not on PATH")
+	}
+	dir := t.TempDir()
+	git := func(args ...string) {
+		t.Helper()
+		cmd := exec.Command("git", args...)
+		cmd.Dir = dir
+		cmd.Env = append(os.Environ(),
+			"GIT_AUTHOR_NAME=t", "GIT_AUTHOR_EMAIL=t@t",
+			"GIT_COMMITTER_NAME=t", "GIT_COMMITTER_EMAIL=t@t")
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("git %v: %v\n%s", args, err, out)
+		}
+	}
+	git("init", "-q")
+	if err := os.WriteFile(filepath.Join(dir, "f.txt"), []byte("x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	status, err := workingTreeStatus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status == "" {
+		t.Fatal("untracked file: tree reported clean")
+	}
+
+	git("add", "f.txt")
+	git("commit", "-q", "-m", "seed")
+	status, err = workingTreeStatus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != "" {
+		t.Fatalf("fresh commit: tree reported dirty:\n%s", status)
+	}
+
+	if err := os.WriteFile(filepath.Join(dir, "f.txt"), []byte("y\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	status, err = workingTreeStatus(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status == "" {
+		t.Fatal("modified tracked file: tree reported clean")
+	}
+
+	// Outside any repository the check degrades to an error — perfcheck
+	// then warns and proceeds rather than hard-failing. (Some CI images
+	// nest TempDir under a repository, so an error here is not required,
+	// only tolerated.)
+	if _, err := workingTreeStatus(t.TempDir()); err == nil {
+		t.Log("temp dir sits inside a git work tree; outside-repo case not exercised")
+	}
+}

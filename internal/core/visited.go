@@ -1,0 +1,53 @@
+package core
+
+import "math"
+
+// VisitedVariant names the visited-set representation a cascade runs
+// on. Both variants realize the same membership semantics — outcomes
+// are byte-identical whichever one served a run (asserted by the
+// differential property suite in this package) — only the memory-access
+// pattern differs.
+type VisitedVariant int8
+
+const (
+	// VisitedAuto lets RunScratch pick per cascade: the bitset when the
+	// denseFlood heuristic predicts the query will touch a large
+	// fraction of a big snapshot, the epoch-stamped slots otherwise.
+	VisitedAuto VisitedVariant = iota
+	// VisitedSlots forces the epoch-stamped slot array.
+	VisitedSlots
+	// VisitedBits forces the bitset (where representable: cascades with
+	// a local Index always use slots, whose idxEpoch stamp the index
+	// bookkeeping needs).
+	VisitedBits
+)
+
+// ForceVisited overrides the dense-flood visited-set heuristic for the
+// differential tests in this package and pkg/search, exactly like
+// eventq.ForceHeapQueue: production code leaves it VisitedAuto. Not
+// safe to flip while cascades run concurrently.
+var ForceVisited VisitedVariant
+
+// denseBitsMinNodes is the smallest network the bitset heuristic
+// considers: below it the whole slot array lives in cache anyway and
+// the per-cascade bitset memclr is pure overhead.
+const denseBitsMinNodes = 1 << 13
+
+// denseFlood predicts whether a TTL-bounded cascade over an n-node,
+// edges-edge snapshot will visit enough of the network that the bitset
+// visited set wins: the O(n/64) per-cascade clear must be amortized by
+// a visit count of the same order. The frontier of a flood grows
+// roughly by the average out-degree per hop, so estimated coverage is
+// avgDeg^ttl; the bitset engages when that estimate reaches a quarter
+// of the network. Queries with a result cap usually terminate long
+// before their TTL exhausts, so they always stay on slots.
+func denseFlood(n, edges, ttl, maxResults int) bool {
+	if n < denseBitsMinNodes || ttl <= 0 || maxResults > 0 {
+		return false
+	}
+	avg := float64(edges) / float64(n)
+	if avg <= 1 {
+		return false
+	}
+	return float64(ttl)*math.Log(avg) >= math.Log(float64(n)/4)
+}

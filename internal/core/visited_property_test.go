@@ -1,0 +1,196 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// maskGraph is a random adjacency with a liveness mask — the generic
+// (non-CSR) graph shape, so the bitset variant is exercised on the
+// interface-dispatched path including the Online check.
+type maskGraph struct {
+	out    [][]topology.NodeID
+	online []bool
+}
+
+func (g *maskGraph) Out(id topology.NodeID) []topology.NodeID { return g.out[id] }
+func (g *maskGraph) Online(id topology.NodeID) bool           { return g.online[id] }
+
+// randomMaskGraph builds a seeded random n-node graph: every node gets
+// [1, maxDeg] distinct outgoing neighbors, and offlineFrac of the nodes
+// are marked off-line.
+func randomMaskGraph(r *rng.Stream, n, maxDeg int, offlineFrac float64) *maskGraph {
+	g := &maskGraph{out: make([][]topology.NodeID, n), online: make([]bool, n)}
+	for i := range g.online {
+		g.online[i] = r.Float64() >= offlineFrac
+	}
+	for i := 0; i < n; i++ {
+		deg := 1 + r.Intn(maxDeg)
+		for d := 0; d < deg; d++ {
+			nb := topology.NodeID(r.Intn(n))
+			if int(nb) == i {
+				continue
+			}
+			dup := false
+			for _, have := range g.out[i] {
+				if have == nb {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				g.out[i] = append(g.out[i], nb)
+			}
+		}
+	}
+	return g
+}
+
+// TestVisitedVariantsByteIdentical is the differential property suite
+// of the dense-flood bitset: across 100 seeded random topologies and
+// every builtin forward policy, cascades running on the bitset visited
+// set produce byte-identical outcomes to cascades running on the
+// epoch-stamped slots. Scratches are reused across runs in both
+// variants, so the bitset's per-cascade clear discipline is exercised
+// under pooling, and half the topologies run with off-line nodes (the
+// generic-graph path the heuristic never picks on its own).
+func TestVisitedVariantsByteIdentical(t *testing.T) {
+	defer func() { ForceVisited = VisitedAuto }()
+
+	type policyCase struct {
+		name string
+		mk   func(r *rng.Stream, led func(topology.NodeID) *stats.Ledger) ForwardPolicy
+	}
+	mayHold := func(id topology.NodeID, key Key) bool {
+		return (uint64(id)*31+uint64(key)*17)%3 != 0
+	}
+	policies := []policyCase{
+		{"flood", func(*rng.Stream, func(topology.NodeID) *stats.Ledger) ForwardPolicy {
+			return Flood{}
+		}},
+		{"random-2", func(r *rng.Stream, _ func(topology.NodeID) *stats.Ledger) ForwardPolicy {
+			return RandomK{K: 2, Intn: r.Intn}
+		}},
+		{"directed-bft-2", func(_ *rng.Stream, _ func(topology.NodeID) *stats.Ledger) ForwardPolicy {
+			return DirectedBFT{K: 2, Benefit: stats.Cumulative{}}
+		}},
+		{"digest-guided", func(*rng.Stream, func(topology.NodeID) *stats.Ledger) ForwardPolicy {
+			return DigestGuided{MayHold: mayHold, Fallback: Flood{}}
+		}},
+	}
+
+	scratchSlots := NewScratch(0)
+	scratchBits := NewScratch(0)
+	for topo := 0; topo < 100; topo++ {
+		seed := uint64(1000 + topo)
+		r := rng.New(seed)
+		n := 32 + r.Intn(480)
+		offline := 0.0
+		if topo%2 == 1 {
+			offline = 0.15
+		}
+		g := randomMaskGraph(r, n, 4, offline)
+		content := ContentFunc(func(id topology.NodeID, key Key) bool {
+			return uint64(id)%7 == uint64(key)%7
+		})
+		ledgers := make([]*stats.Ledger, n)
+		for i := range ledgers {
+			ledgers[i] = stats.NewLedger()
+			for _, nb := range g.out[i] {
+				ledgers[i].Touch(nb).Benefit = r.Float64()
+			}
+		}
+		ledgerOf := func(id topology.NodeID) *stats.Ledger { return ledgers[id] }
+		delay := func(from, to topology.NodeID) float64 {
+			return 0.010 + float64((int(from)*13+int(to)*7)%17)/1000
+		}
+
+		for _, pc := range policies {
+			q := Query{
+				ID:             QueryID(topo),
+				Key:            Key(r.Intn(n)),
+				Origin:         topology.NodeID(r.Intn(n)),
+				TTL:            3 + r.Intn(5),
+				ForwardWhenHit: topo%3 == 0,
+			}
+			// Each variant gets its own rng stream at the same seed so
+			// stochastic policies draw identical decisions.
+			run := func(variant VisitedVariant, s *Scratch) []byte {
+				ForceVisited = variant
+				defer func() { ForceVisited = VisitedAuto }()
+				c := &Cascade{
+					Graph:   g,
+					Content: content,
+					Forward: pc.mk(rng.New(seed^0xbeef), ledgerOf),
+					Ledger:  ledgerOf,
+					Delay:   delay,
+				}
+				out := c.RunScratch(&q, s)
+				b, err := json.Marshal(out)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return b
+			}
+			slots := run(VisitedSlots, scratchSlots)
+			bits := run(VisitedBits, scratchBits)
+			if string(slots) != string(bits) {
+				t.Fatalf("topology %d (n=%d, offline=%.2f) policy %s: variants diverged\n  slots: %s\n  bits:  %s",
+					topo, n, offline, pc.name, slots, bits)
+			}
+		}
+	}
+}
+
+// TestVisitedAutoMatchesForced pins the heuristic path itself: a CSR
+// dense flood that denseFlood selects for the bitset must agree with a
+// forced-slots run, and the heuristic must actually engage (so the auto
+// path is not silently testing slots against slots).
+func TestVisitedAutoMatchesForced(t *testing.T) {
+	defer func() { ForceVisited = VisitedAuto }()
+
+	const n = denseBitsMinNodes
+	net := topology.NewNetwork(topology.PureAsymmetric, n, 4, 0)
+	for i := 0; i < n; i++ {
+		net.Connect(topology.NodeID(i), topology.NodeID((i+1)%n))
+		net.Connect(topology.NodeID(i), topology.NodeID((i+37)%n))
+		net.Connect(topology.NodeID(i), topology.NodeID((i+911)%n))
+	}
+	csr := net.Freeze()
+	if !denseFlood(csr.Len(), csr.EdgeCount(), 12, 0) {
+		t.Fatalf("heuristic rejected a TTL-12 flood over %d nodes / %d edges", csr.Len(), csr.EdgeCount())
+	}
+	if denseFlood(csr.Len(), csr.EdgeCount(), 2, 0) {
+		t.Fatal("heuristic accepted a TTL-2 (sparse) flood")
+	}
+	if denseFlood(csr.Len(), csr.EdgeCount(), 12, 1) {
+		t.Fatal("heuristic accepted a result-capped query")
+	}
+
+	c := &Cascade{
+		Graph: csr,
+		Content: ContentFunc(func(id topology.NodeID, key Key) bool {
+			return uint64(id)%997 == uint64(key)%997
+		}),
+		Forward: Flood{},
+	}
+	q := Query{ID: 7, Key: 5, Origin: 123, TTL: 12}
+
+	ForceVisited = VisitedSlots
+	want, err := json.Marshal(c.RunScratch(&q, NewScratch(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ForceVisited = VisitedAuto
+	got, err := json.Marshal(c.RunScratch(&q, NewScratch(n)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("auto (bitset) flood diverged from slots:\n  auto:  %s\n  slots: %s", got, want)
+	}
+}

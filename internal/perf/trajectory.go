@@ -1,0 +1,220 @@
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// History is the cross-PR performance trajectory: an append-only series
+// of labeled benchmark reports (BENCH_history.json). Where a single
+// Report answers "how fast is this commit", the History answers "which
+// way is it moving" — cmd/perfcheck appends one point per intentional
+// refresh and reports every run's movement against the latest point.
+// Wall-clock metrics are REPORTED against the trajectory, never gated:
+// the same no-time-thresholds policy as the baseline gate.
+type History struct {
+	// Schema versions the document layout.
+	Schema string `json:"schema"`
+	// Points is chronological: Points[len-1] is the latest.
+	Points []Point `json:"points"`
+}
+
+// Point is one recorded position on the trajectory.
+type Point struct {
+	// Label identifies the run ("pr6", a commit hash, ...).
+	Label string `json:"label"`
+	// Source says which producer measured it (Report.Source).
+	Source string `json:"source"`
+	// Entries is the measured report body, sorted by name.
+	Entries []Entry `json:"entries"`
+}
+
+// Get returns the point's entry with the given name, or nil.
+func (p *Point) Get(name string) *Entry {
+	for i := range p.Entries {
+		if p.Entries[i].Name == name {
+			return &p.Entries[i]
+		}
+	}
+	return nil
+}
+
+// HistorySchemaVersion is the current value of History.Schema.
+const HistorySchemaVersion = "repro-bench-history/v1"
+
+// NewHistory returns an empty trajectory.
+func NewHistory() *History {
+	return &History{Schema: HistorySchemaVersion}
+}
+
+// ReadHistory loads a trajectory; a missing file is NOT an error — it
+// returns an empty History, so first runs bootstrap cleanly.
+func ReadHistory(path string) (*History, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return NewHistory(), nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var h History
+	if err := json.Unmarshal(data, &h); err != nil {
+		return nil, fmt.Errorf("perf: parse %s: %w", path, err)
+	}
+	if h.Schema != HistorySchemaVersion {
+		return nil, fmt.Errorf("perf: %s has schema %q, want %q", path, h.Schema, HistorySchemaVersion)
+	}
+	return &h, nil
+}
+
+// Append records r as the new latest point under the given label.
+func (h *History) Append(label string, r *Report) {
+	r.sorted()
+	entries := make([]Entry, len(r.Entries))
+	for i, e := range r.Entries {
+		m := make(map[string]float64, len(e.Metrics))
+		for k, v := range e.Metrics {
+			m[k] = v
+		}
+		entries[i] = Entry{Name: e.Name, Metrics: m}
+	}
+	h.Points = append(h.Points, Point{Label: label, Source: r.Source, Entries: entries})
+}
+
+// Latest returns the most recent point, or nil for an empty trajectory.
+func (h *History) Latest() *Point {
+	if len(h.Points) == 0 {
+		return nil
+	}
+	return &h.Points[len(h.Points)-1]
+}
+
+// WriteHistory marshals the trajectory to path (atomic rename, parent
+// directories created), mirroring Report.Write.
+func (h *History) WriteHistory(path string) error {
+	data, err := json.MarshalIndent(h, "", "  ")
+	if err != nil {
+		return fmt.Errorf("perf: marshal %s: %w", filepath.Base(path), err)
+	}
+	data = append(data, '\n')
+	if dir := filepath.Dir(path); dir != "." && dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// Verdict classifies one metric's movement against the trajectory.
+type Verdict string
+
+const (
+	// VerdictRegression: the metric moved in the bad direction beyond
+	// the tolerance band.
+	VerdictRegression Verdict = "regression"
+	// VerdictImprovement: the metric moved in the good direction beyond
+	// the tolerance band.
+	VerdictImprovement Verdict = "improvement"
+	// VerdictSteady: movement within the tolerance band.
+	VerdictSteady Verdict = "steady"
+	// VerdictNoPrior: the trajectory has no usable previous value — no
+	// point at all, the entry or metric is new, or the previous value
+	// cannot anchor a ratio (zero, negative, NaN or infinite).
+	VerdictNoPrior Verdict = "no-prior"
+)
+
+// Movement is one (entry, metric) comparison against the latest point.
+type Movement struct {
+	Entry  string
+	Metric string
+	// Prev and Cur are the compared values; Prev is NaN under
+	// VerdictNoPrior when the metric was absent.
+	Prev, Cur float64
+	// Ratio is Cur/Prev, 0 when undefined (VerdictNoPrior).
+	Ratio   float64
+	Verdict Verdict
+}
+
+// String implements fmt.Stringer.
+func (m Movement) String() string {
+	if m.Verdict == VerdictNoPrior {
+		return fmt.Sprintf("%s %s: %s (%.4g)", m.Entry, m.Metric, m.Verdict, m.Cur)
+	}
+	return fmt.Sprintf("%s %s: %.4g -> %.4g (%.2fx, %s)", m.Entry, m.Metric, m.Prev, m.Cur, m.Ratio, m.Verdict)
+}
+
+// LowerIsBetter reports the good direction of a metric: throughput
+// metrics (anything per second, or a rate like hit-rate) improve
+// upward; cost metrics (ns/op, allocs/op, B/op, delays, wall-clock
+// milliseconds) improve downward. Unknown names default to cost.
+func LowerIsBetter(metric string) bool {
+	if strings.HasSuffix(metric, "/sec") || strings.HasSuffix(metric, "-rate") {
+		return false
+	}
+	return true
+}
+
+// Trajectory compares cur against the latest trajectory point (prev,
+// which may be nil) for the listed metrics, classifying every movement
+// on cur's entries. tol is the steady band as a ratio: with tol = 1.10
+// anything within ±10% is VerdictSteady. Direction is metric-aware via
+// LowerIsBetter. Previous values that cannot anchor a ratio — the
+// zero ns/op of a parse gap, a NaN from a corrupted file — classify as
+// VerdictNoPrior rather than poisoning the report, as does a
+// non-finite current value.
+func Trajectory(prev *Point, cur *Report, tol float64, metrics ...string) []Movement {
+	if tol < 1 {
+		tol = 1
+	}
+	cur.sorted()
+	var out []Movement
+	for _, ce := range cur.Entries {
+		for _, metric := range metrics {
+			cv, ok := ce.Metric(metric)
+			if !ok {
+				continue
+			}
+			m := Movement{Entry: ce.Name, Metric: metric, Prev: math.NaN(), Cur: cv, Verdict: VerdictNoPrior}
+			var pe *Entry
+			if prev != nil {
+				pe = prev.Get(ce.Name)
+			}
+			if pe != nil {
+				if pv, ok := pe.Metric(metric); ok {
+					m.Prev = pv
+				}
+			}
+			pv := m.Prev
+			switch {
+			case math.IsNaN(pv) || math.IsInf(pv, 0) || pv <= 0,
+				math.IsNaN(cv) || math.IsInf(cv, 0) || cv < 0:
+				// No usable anchor: stays VerdictNoPrior.
+			default:
+				m.Ratio = cv / pv
+				worse := m.Ratio > tol
+				better := m.Ratio < 1/tol
+				if !LowerIsBetter(metric) {
+					worse, better = better, worse
+				}
+				switch {
+				case worse:
+					m.Verdict = VerdictRegression
+				case better:
+					m.Verdict = VerdictImprovement
+				default:
+					m.Verdict = VerdictSteady
+				}
+			}
+			out = append(out, m)
+		}
+	}
+	return out
+}

@@ -1,0 +1,213 @@
+package perf
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func trajPoint(label string, entries map[string]map[string]float64) *Point {
+	p := &Point{Label: label, Source: "go-bench"}
+	r := NewReport("go-bench")
+	for name, m := range entries {
+		r.Add(name, m)
+	}
+	r.sorted()
+	p.Entries = r.Entries
+	return p
+}
+
+func trajReport(entries map[string]map[string]float64) *Report {
+	r := NewReport("go-bench")
+	for name, m := range entries {
+		r.Add(name, m)
+	}
+	return r
+}
+
+func findMovement(t *testing.T, ms []Movement, entry, metric string) Movement {
+	t.Helper()
+	for _, m := range ms {
+		if m.Entry == entry && m.Metric == metric {
+			return m
+		}
+	}
+	t.Fatalf("no movement for (%s, %s) in %v", entry, metric, ms)
+	return Movement{}
+}
+
+// TestTrajectoryVerdicts covers the three directional verdicts for both
+// metric polarities: ns/op is lower-better, queries/sec higher-better.
+func TestTrajectoryVerdicts(t *testing.T) {
+	prev := trajPoint("pr5", map[string]map[string]float64{
+		"BenchmarkA": {"ns/op": 1000, "queries/sec": 5000},
+		"BenchmarkB": {"ns/op": 200},
+	})
+	cur := trajReport(map[string]map[string]float64{
+		"BenchmarkA": {"ns/op": 2000, "queries/sec": 9000}, // time worse, throughput better
+		"BenchmarkB": {"ns/op": 205},                       // inside the band
+	})
+	ms := Trajectory(prev, cur, 1.10, "ns/op", "queries/sec")
+
+	if m := findMovement(t, ms, "BenchmarkA", "ns/op"); m.Verdict != VerdictRegression {
+		t.Fatalf("A ns/op doubled: verdict %s, want regression (%v)", m.Verdict, m)
+	}
+	if m := findMovement(t, ms, "BenchmarkA", "queries/sec"); m.Verdict != VerdictImprovement {
+		t.Fatalf("A queries/sec rose: verdict %s, want improvement (%v)", m.Verdict, m)
+	}
+	if m := findMovement(t, ms, "BenchmarkB", "ns/op"); m.Verdict != VerdictSteady {
+		t.Fatalf("B ns/op +2.5%%: verdict %s, want steady (%v)", m.Verdict, m)
+	}
+
+	// Flip the throughput direction: a queries/sec drop is a regression.
+	drop := trajReport(map[string]map[string]float64{
+		"BenchmarkA": {"queries/sec": 2000},
+	})
+	if m := findMovement(t, Trajectory(prev, drop, 1.10, "queries/sec"),
+		"BenchmarkA", "queries/sec"); m.Verdict != VerdictRegression {
+		t.Fatalf("A queries/sec dropped: verdict %s, want regression", m.Verdict)
+	}
+}
+
+// TestTrajectoryNoPrior exercises every shape of "no prior entry": a nil
+// previous point (empty history), a benchmark new to this run, a metric
+// absent from the prior entry, and prior values that cannot anchor a
+// ratio — zero ns/op and NaN.
+func TestTrajectoryNoPrior(t *testing.T) {
+	cur := trajReport(map[string]map[string]float64{
+		"BenchmarkNew": {"ns/op": 1234},
+	})
+
+	// Empty history: Latest() is nil.
+	ms := Trajectory(nil, cur, 1.10, "ns/op")
+	if m := findMovement(t, ms, "BenchmarkNew", "ns/op"); m.Verdict != VerdictNoPrior {
+		t.Fatalf("nil prev: verdict %s, want no-prior", m.Verdict)
+	} else if !math.IsNaN(m.Prev) || m.Ratio != 0 {
+		t.Fatalf("nil prev: Prev=%v Ratio=%v, want NaN/0", m.Prev, m.Ratio)
+	}
+
+	prev := trajPoint("pr5", map[string]map[string]float64{
+		"BenchmarkOld":  {"allocs/op": 3}, // no ns/op metric
+		"BenchmarkZero": {"ns/op": 0},     // zero prior time
+		"BenchmarkNaN":  {"ns/op": math.NaN()},
+	})
+	cur2 := trajReport(map[string]map[string]float64{
+		"BenchmarkNew":  {"ns/op": 1234}, // entry absent from prev
+		"BenchmarkOld":  {"ns/op": 55},   // metric absent from prev entry
+		"BenchmarkZero": {"ns/op": 55},
+		"BenchmarkNaN":  {"ns/op": 55},
+	})
+	ms = Trajectory(prev, cur2, 1.10, "ns/op")
+	for _, name := range []string{"BenchmarkNew", "BenchmarkOld", "BenchmarkZero", "BenchmarkNaN"} {
+		if m := findMovement(t, ms, name, "ns/op"); m.Verdict != VerdictNoPrior {
+			t.Fatalf("%s: verdict %s, want no-prior (%v)", name, m.Verdict, m)
+		}
+	}
+
+	// A NaN *current* value must not classify either.
+	curNaN := trajReport(map[string]map[string]float64{
+		"BenchmarkZero": {"ns/op": math.NaN()},
+	})
+	prevOK := trajPoint("pr5", map[string]map[string]float64{
+		"BenchmarkZero": {"ns/op": 100},
+	})
+	if m := findMovement(t, Trajectory(prevOK, curNaN, 1.10, "ns/op"),
+		"BenchmarkZero", "ns/op"); m.Verdict != VerdictNoPrior {
+		t.Fatalf("NaN current: verdict %s, want no-prior", m.Verdict)
+	}
+
+	// Both zero is not a regression or improvement: no anchor, no-prior.
+	if m := findMovement(t, Trajectory(
+		trajPoint("p", map[string]map[string]float64{"B": {"ns/op": 0}}),
+		trajReport(map[string]map[string]float64{"B": {"ns/op": 0}}),
+		1.10, "ns/op"), "B", "ns/op"); m.Verdict != VerdictNoPrior {
+		t.Fatalf("0 -> 0: verdict %s, want no-prior", m.Verdict)
+	}
+
+	// Metrics missing from CURRENT entries simply produce no movement.
+	if got := Trajectory(prevOK, trajReport(map[string]map[string]float64{
+		"BenchmarkZero": {"allocs/op": 1},
+	}), 1.10, "ns/op"); len(got) != 0 {
+		t.Fatalf("metric absent from current: %d movements, want 0", len(got))
+	}
+}
+
+func TestLowerIsBetter(t *testing.T) {
+	cases := map[string]bool{
+		"ns/op":        true,
+		"allocs/op":    true,
+		"B/op":         true,
+		"delay_p95_ms": true,
+		"events/sec":   false,
+		"queries/sec":  false,
+		"hit-rate":     false,
+		"mystery":      true, // unknown defaults to cost
+	}
+	for metric, want := range cases {
+		if got := LowerIsBetter(metric); got != want {
+			t.Errorf("LowerIsBetter(%q) = %v, want %v", metric, got, want)
+		}
+	}
+}
+
+// TestHistoryRoundTrip: append, write, read back, and the missing-file
+// bootstrap path.
+func TestHistoryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_history.json")
+
+	h, err := ReadHistory(path)
+	if err != nil {
+		t.Fatalf("ReadHistory on missing file: %v", err)
+	}
+	if h.Latest() != nil {
+		t.Fatal("missing file: Latest() != nil")
+	}
+
+	h.Append("pr5", trajReport(map[string]map[string]float64{
+		"BenchmarkA": {"ns/op": 100},
+	}))
+	h.Append("pr6", trajReport(map[string]map[string]float64{
+		"BenchmarkA": {"ns/op": 90, "queries/sec": 4e6},
+	}))
+	if err := h.WriteHistory(path); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := ReadHistory(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != 2 {
+		t.Fatalf("round trip: %d points, want 2", len(back.Points))
+	}
+	latest := back.Latest()
+	if latest.Label != "pr6" {
+		t.Fatalf("Latest label %q, want pr6", latest.Label)
+	}
+	if v, ok := latest.Get("BenchmarkA").Metric("queries/sec"); !ok || v != 4e6 {
+		t.Fatalf("latest queries/sec = %v %v, want 4e6 true", v, ok)
+	}
+
+	// A wrong schema must be rejected loudly, not misread.
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"other/v9","points":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadHistory(bad); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("wrong schema: err = %v, want schema mismatch", err)
+	}
+}
+
+func TestMovementString(t *testing.T) {
+	m := Movement{Entry: "B", Metric: "ns/op", Prev: 100, Cur: 210, Ratio: 2.1, Verdict: VerdictRegression}
+	if s := m.String(); !strings.Contains(s, "regression") || !strings.Contains(s, "2.10x") {
+		t.Fatalf("String() = %q", s)
+	}
+	np := Movement{Entry: "B", Metric: "ns/op", Prev: math.NaN(), Cur: 55, Verdict: VerdictNoPrior}
+	if s := np.String(); !strings.Contains(s, "no-prior") {
+		t.Fatalf("String() = %q", s)
+	}
+}

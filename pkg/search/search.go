@@ -536,10 +536,21 @@ func (e *Engine) coreQuery(q *Query) (core.Query, error) {
 	return cq, nil
 }
 
-// run executes one search. onHit, when non-nil, observes hits as they
-// arrive and stops the cascade by returning false. The returned Result
-// is caller-owned.
+// run executes one search on a scratch borrowed from the Engine's
+// pool. onHit, when non-nil, observes hits as they arrive and stops the
+// cascade by returning false. The returned Result is caller-owned.
 func (e *Engine) run(ctx context.Context, q *Query, seed uint64, onHit func(Hit) bool) (Result, error) {
+	s := e.scratch.Get().(*core.Scratch)
+	res, err := e.runWith(ctx, q, seed, s, onHit)
+	e.scratch.Put(s)
+	return res, err
+}
+
+// runWith is run over an explicit Scratch — the pinned-affinity entry
+// point Saturator workers use to bypass the pool on the hot path. The
+// returned Result never aliases s (hits are copied out), so s is free
+// for the next query the moment runWith returns.
+func (e *Engine) runWith(ctx context.Context, q *Query, seed uint64, s *core.Scratch, onHit func(Hit) bool) (Result, error) {
 	cq, err := e.coreQuery(q)
 	if err != nil {
 		return Result{}, err
@@ -585,7 +596,6 @@ func (e *Engine) run(ctx context.Context, q *Query, seed uint64, onHit func(Hit)
 		}
 	}
 
-	s := e.scratch.Get().(*core.Scratch)
 	var out *core.Outcome
 	if e.deepening != nil {
 		out = e.deepening.RunScratch(&c, &cq, s)
@@ -600,10 +610,10 @@ func (e *Engine) run(ctx context.Context, q *Query, seed uint64, onHit func(Hit)
 	}
 	// Streaming consumers already received every hit through onHit;
 	// copying the pooled buffer for them would be a dead allocation.
+	// The copy detaches the Result from s (out.Results aliases it).
 	if len(out.Results) > 0 && onHit == nil {
 		res.Hits = append([]Hit(nil), out.Results...)
 	}
-	e.scratch.Put(s) // only after copying: out.Results aliases s
 	if err := ctx.Err(); err != nil {
 		return Result{}, err
 	}
