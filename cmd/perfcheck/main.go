@@ -10,6 +10,16 @@
 //	go run ./cmd/perfcheck -in bench.out -baseline BENCH_baseline.json # gate only
 //	go run ./cmd/perfcheck -in bench.out -baseline BENCH_baseline.json -update
 //
+// -in-json loads an already-rendered BENCH_*.json report (as the
+// experiment families emit — BENCH_scale.json, BENCH_churnserve.json)
+// instead of parsing bench text; given together with -in (or piped
+// bench output), the two merge into one report, so a single history
+// point can carry both the Go benchmarks and an experiment's headline:
+//
+//	go run ./cmd/perfcheck -in bench.out \
+//	    -in-json runs/churnserve-ci/BENCH_churnserve.json \
+//	    -history BENCH_history.json -append-history -label pr7
+//
 // The gate fails (exit 1) when any baseline benchmark worsens its
 // allocs/op by more than -max-ratio (default 2), disappears, or drops
 // the metric. Wall-clock metrics (ns/op) are *reported* — a per-entry
@@ -46,6 +56,7 @@ import (
 func main() {
 	var (
 		in         = flag.String("in", "", "bench output file (default stdin)")
+		inJSON     = flag.String("in-json", "", "BENCH_*.json report to load; merges with bench input when both are given")
 		out        = flag.String("out", "", "write parsed BENCH json here")
 		baseline   = flag.String("baseline", "", "checked-in baseline BENCH json to gate against")
 		maxRatio   = flag.Float64("max-ratio", 2, "fail when current allocs/op exceeds baseline*ratio")
@@ -59,23 +70,44 @@ func main() {
 	)
 	flag.Parse()
 
-	var src io.Reader = os.Stdin
-	if *in != "" {
-		f, err := os.Open(*in)
+	// With only -in-json there is no bench text to parse (stdin is not
+	// consulted); with both, the JSON report's entries merge into the
+	// parsed one, which keeps "go-bench" as the merged source.
+	var rep *perf.Report
+	if *inJSON == "" || *in != "" {
+		var src io.Reader = os.Stdin
+		if *in != "" {
+			f, err := os.Open(*in)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			src = f
+		}
+		var err error
+		rep, err = perf.ParseBench(src)
 		if err != nil {
 			fatal(err)
 		}
-		defer f.Close()
-		src = f
+		if len(rep.Entries) == 0 {
+			fatal(fmt.Errorf("perfcheck: no benchmark results in input"))
+		}
+		fmt.Fprintf(os.Stderr, "perfcheck: parsed %d benchmark entries\n", len(rep.Entries))
 	}
-	rep, err := perf.ParseBench(src)
-	if err != nil {
-		fatal(err)
+	if *inJSON != "" {
+		jrep, err := perf.Read(*inJSON)
+		if err != nil {
+			fatal(err)
+		}
+		if rep == nil {
+			rep = jrep
+		} else {
+			for _, e := range jrep.Entries {
+				rep.Add(e.Name, e.Metrics)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "perfcheck: loaded %d report entries from %s\n", len(jrep.Entries), *inJSON)
 	}
-	if len(rep.Entries) == 0 {
-		fatal(fmt.Errorf("perfcheck: no benchmark results in input"))
-	}
-	fmt.Fprintf(os.Stderr, "perfcheck: parsed %d benchmark entries\n", len(rep.Entries))
 
 	if *out != "" {
 		if err := rep.Write(*out); err != nil {

@@ -11,8 +11,10 @@
 // stress families: scale (1k/10k/100k/1M-node cascade sweeps plus the
 // CSR re-freeze cell), policies (the pkg/search forward-policy
 // registry swept over one network; -list-policies prints the
-// registry), and skew (the session-driver grid: Zipf skew × churn ×
-// policy plus a flash-crowd cell). -list prints every family with a
+// registry), skew (the session-driver grid: Zipf skew × churn ×
+// policy plus a flash-crowd cell), and churnserve (saturated serving
+// under churn: stop-the-world re-freeze vs zero-downtime epoch swaps,
+// emitting BENCH_churnserve.json). -list prints every family with a
 // one-line description.
 //
 // -cpuprofile/-memprofile write pprof profiles of the selected run, so
@@ -26,7 +28,7 @@
 // per-cell outputs land in <out>/<name>/cells.json (deterministic —
 // diff it across commits) and <out>/<name>/summary.json (timing and
 // failure metadata); experiments with wall-clock side measurements
-// (scale) additionally write <out>/<name>/BENCH_<exp>.json
+// (scale, churnserve) additionally write <out>/<name>/BENCH_<exp>.json
 // (machine-dependent — never diffed, tracked as the perf trajectory).
 package main
 

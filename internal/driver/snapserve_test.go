@@ -1,0 +1,123 @@
+package driver
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/topology"
+	"repro/internal/workload"
+	"repro/pkg/search"
+)
+
+// runChurnSession drives one Gnutella-style churn session — nodes
+// attach to random online peers on login, isolate on logoff — and
+// returns every query outcome in dispatch order. The only knob is
+// SnapshotServe, so the two serving modes run the identical timeline.
+func runChurnSession(t *testing.T, snapshotServe bool) ([]search.Result, *Session) {
+	t.Helper()
+	const nodes = 60
+	var results []search.Result
+	var s *Session
+	spec := baseSpec(nodes)
+	spec.Duration = 12 * 3600
+	spec.Arrivals = Poisson{RatePerHour: 3}
+	spec.Churn = &workload.ChurnConfig{MeanOnline: 3600, MeanOffline: 3600}
+	spec.Content = core.ContentFunc(func(id topology.NodeID, key core.Key) bool {
+		return int(id)%7 == int(key)%7
+	})
+	spec.TTL = 3
+	spec.SnapshotServe = snapshotServe
+	spec.OnLogin = func(id topology.NodeID) {
+		for tries := 0; tries < 8 && s.Network().Node(id).Out.Len() < 3; tries++ {
+			peer := topology.NodeID(s.TopoStream().Intn(nodes))
+			if peer != id && s.IsOnline(peer) {
+				s.Network().Connect(id, peer)
+			}
+		}
+	}
+	// Full isolation on logoff is what makes the all-online snapshot
+	// equivalent to the live view: offline nodes have no edges at all.
+	spec.OnLogoff = func(id topology.NodeID, _ float64) { s.Network().Isolate(id) }
+	spec.OnQuery = func(id topology.NodeID, _ float64) {
+		q := search.Query{
+			ID:     s.NextQueryID(),
+			Key:    core.Key(s.QueryStream(id).Intn(100)),
+			Origin: id,
+		}
+		results = append(results, s.Do(q))
+	}
+	var err error
+	s, err = New(spec, rng.New(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Run()
+	return results, s
+}
+
+// TestSnapshotServeMatchesLiveView is the driver-layer differential:
+// the same churn timeline served from coalesced snapshot epochs yields
+// byte-identical query outcomes to live OnlineView dispatch, because
+// logoff hooks fully isolate departing nodes.
+func TestSnapshotServeMatchesLiveView(t *testing.T) {
+	live, liveSess := runChurnSession(t, false)
+	snap, snapSess := runChurnSession(t, true)
+	if len(live) == 0 {
+		t.Fatal("timeline dispatched no queries")
+	}
+	if len(live) != len(snap) {
+		t.Fatalf("query counts diverged: live %d, snapshot %d", len(live), len(snap))
+	}
+	if liveSess.Store() != nil {
+		t.Fatal("live session grew a store")
+	}
+	store := snapSess.Store()
+	if store == nil {
+		t.Fatal("snapshot session has no store")
+	}
+	// Churn between queries coalesced into epochs: more than the
+	// initial freeze, at most one publish per dispatch.
+	if e := store.Epoch(); e <= 1 || e > uint64(len(snap))+1 {
+		t.Fatalf("store at epoch %d after %d queries", e, len(snap))
+	}
+	for i := range live {
+		got := snap[i]
+		if got.Epoch == 0 {
+			t.Fatalf("query %d served without an epoch tag", i)
+		}
+		got.Epoch = 0
+		if !reflect.DeepEqual(got, live[i]) {
+			t.Fatalf("query %d diverged:\nsnapshot %+v\nlive     %+v", i, got, live[i])
+		}
+	}
+}
+
+// TestTopologyChangedRepublishes: an application mutating topology
+// outside the session hooks marks it dirty and the next dispatch
+// serves a fresh epoch.
+func TestTopologyChangedRepublishes(t *testing.T) {
+	spec := baseSpec(10)
+	spec.Content = allContent
+	spec.TTL = 2
+	spec.SnapshotServe = true
+	s, err := New(spec, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Network().Connect(0, 1)
+	s.TopologyChanged()
+	r := s.Do(search.Query{ID: 1, Key: 1, Origin: 0})
+	if r.Epoch != 2 {
+		t.Fatalf("first dispatch on epoch %d, want 2 (republished)", r.Epoch)
+	}
+	if r.Messages == 0 {
+		t.Fatal("edge added before TopologyChanged not visible")
+	}
+	// No mutation since: the next dispatch reuses the epoch.
+	r = s.Do(search.Query{ID: 2, Key: 1, Origin: 0})
+	if r.Epoch != 2 {
+		t.Fatalf("clean dispatch republished to epoch %d", r.Epoch)
+	}
+}

@@ -19,8 +19,9 @@ import (
 // and any reordering of draws or same-time events shows up here
 // immediately.
 //
-// The skew family postdates the capture, so it is excluded; its
-// determinism is covered by TestSkewWorkerCountInvariance.
+// The skew and churnserve families postdate the capture, so they are
+// excluded; their determinism is covered by
+// TestSkewWorkerCountInvariance and TestChurnServeModesAgree.
 func TestGoldenCellsByteIdentity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full CI-scale registry run")
@@ -32,7 +33,7 @@ func TestGoldenCellsByteIdentity(t *testing.T) {
 
 	var cells []runner.Cell
 	for _, d := range Registry(CI, 1) {
-		if d.Name == "skew" {
+		if d.Name == "skew" || d.Name == "churnserve" {
 			continue
 		}
 		cells = append(cells, d.Cells...)

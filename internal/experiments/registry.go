@@ -27,8 +27,8 @@ type Definition struct {
 	Tables func(rs []runner.Result) ([]*metrics.Table, error)
 	// Perf, when non-nil, renders the experiment's wall-clock side
 	// measurements as a BENCH_<name>.json document (see internal/perf).
-	// Only the scale family sets it; figure experiments are fully
-	// described by their deterministic cells.
+	// The stress families (scale, skew, churnserve) set it; figure
+	// experiments are fully described by their deterministic cells.
 	Perf func(rs []runner.Result) (*perf.Report, error)
 }
 
@@ -183,7 +183,42 @@ func Registry(scale Scale, seed uint64) []Definition {
 			},
 		},
 		skewDefinition(scale, seed),
+		churnServeDefinition(scale, seed),
 	}
+}
+
+// churnServeDefinition wires the churnserve family (see churnserve.go)
+// into the registry: deterministic post-quiesce summaries render as a
+// table; the wall-clock collector renders as BENCH_churnserve.json with
+// the saturate-under-churn headline.
+func churnServeDefinition(scale Scale, seed uint64) Definition {
+	cells, collector := ChurnServeCells("churnserve", scale, seed)
+	return Definition{
+		Name:  "churnserve",
+		About: "Serving under churn: stop-the-world re-freeze vs zero-downtime epoch swaps",
+		Cells: cells,
+		Tables: func(rs []runner.Result) ([]*metrics.Table, error) {
+			sums, err := AssembleChurnServe(rs)
+			if err != nil {
+				return nil, err
+			}
+			return []*metrics.Table{ChurnServeTable(sums)}, nil
+		},
+		Perf: collector.Report,
+	}
+}
+
+// ChurnServeTable renders the churnserve sweep. The stopworld and
+// epochswap rows of one size must agree on everything but the mode —
+// the table doubles as a visual identity check.
+func ChurnServeTable(sums []*ChurnServeSummary) *metrics.Table {
+	t := metrics.NewTable("Churnserve: saturated queries across churn epochs (post-quiesce probe)",
+		"nodes", "mode", "epochs", "deltas/epoch", "final_edges", "probe_hit_rate", "probe_msgs/query")
+	for _, s := range sums {
+		t.AddRow(s.Nodes, s.Mode, s.Epochs, s.DeltasPerEpoch, s.FinalEdges,
+			s.ProbeHitRate, s.ProbeMsgsPerQuery)
+	}
+	return t
 }
 
 // skewDefinition wires the skew family (see skew.go) into the

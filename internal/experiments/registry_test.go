@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"strings"
 	"testing"
 
 	"repro/internal/runner"
@@ -8,7 +9,7 @@ import (
 
 func TestRegistryWellFormed(t *testing.T) {
 	defs := Registry(CI, 1)
-	if len(defs) != 15 {
+	if len(defs) != 16 {
 		t.Fatalf("registry has %d definitions", len(defs))
 	}
 	seenDef := map[string]bool{}
@@ -43,11 +44,21 @@ func TestRegistryWellFormed(t *testing.T) {
 			// comparisons run identical workload streams; only the
 			// scale and skew families (independent cells, nothing
 			// paired) derive one stable seed per cell from its labels.
+			// Churnserve is paired the other way around: both modes of
+			// one size share the seed derived from the size label, so
+			// their worlds — and deterministic summaries — agree.
 			// Either way the seed is fixed at construction time, never
 			// at run time.
 			want := uint64(1)
-			if d.Name == "scale" || d.Name == "skew" {
+			switch d.Name {
+			case "scale", "skew":
 				want = runner.DeriveSeed(1, d.Name, c.Name)
+			case "churnserve":
+				_, size, ok := strings.Cut(c.Name, "-")
+				if !ok {
+					t.Fatalf("churnserve cell %q not mode-n<size> shaped", c.Name)
+				}
+				want = runner.DeriveSeed(1, d.Name, size)
 			}
 			if c.Seed != want {
 				t.Fatalf("cell %s/%s has seed %d, want %d", d.Name, c.Name, c.Seed, want)

@@ -273,25 +273,28 @@ func ScaleCells(experiment string, scale Scale, seed uint64) ([]runner.Cell, *Sc
 	return cells, collector
 }
 
-// scaleWorld is the deterministic fixture of one scale cell: the wired
-// network with its frozen snapshot, roles, holdings and the streams the
-// query loop consumes.
-type scaleWorld struct {
+// scaleFixture is the engine-less part of a scale world: the wired
+// network, roles, holdings and streams. The churnserve family shares it
+// (with its own engines); buildScaleWorld layers the delay model and
+// CSR engine on top. The stream-split order here is load-bearing: it
+// must not change, or every scale cells.json shifts.
+type scaleFixture struct {
 	net       *topology.Network
-	csr       *topology.CSR
 	clientIDs []topology.NodeID
 	holdings  []map[core.Key]struct{}
 	zipf      *rng.Zipf
 	providers int
 	root      *rng.Stream
 	query     *rng.Stream
-	eng       *search.Engine
+	delay     *rng.Stream
 }
 
-// buildScaleWorld wires, partitions and freezes one cell's network and
-// constructs its engine over the CSR snapshot. Everything is a pure
-// function of cfg.
-func buildScaleWorld(cfg ScaleConfig) (*scaleWorld, error) {
+// buildScaleFixture wires, partitions and stocks one cell's network.
+// Everything is a pure function of cfg.
+func buildScaleFixture(cfg ScaleConfig) (*scaleFixture, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	root := rng.New(cfg.Seed)
 	wireStream := root.Split()
 	roleStream := root.Split()
@@ -331,8 +334,53 @@ func buildScaleWorld(cfg ScaleConfig) (*scaleWorld, error) {
 		}
 		holdings[id] = h
 	}
+	return &scaleFixture{
+		net:       net,
+		clientIDs: clientIDs,
+		holdings:  holdings,
+		zipf:      zipf,
+		providers: providers,
+		root:      root,
+		query:     queryStream,
+		delay:     delayStream,
+	}, nil
+}
 
-	classes := netsim.AssignClasses(root.Split().Intn, n)
+// content returns the fixture's membership oracle. Pure and immutable,
+// hence safe for saturated concurrent searches.
+func (fx *scaleFixture) content() core.ContentFunc {
+	holdings := fx.holdings
+	return func(id topology.NodeID, key core.Key) bool {
+		_, ok := holdings[id][key]
+		return ok
+	}
+}
+
+// scaleWorld is the deterministic fixture of one scale cell: the wired
+// network with its frozen snapshot, roles, holdings and the streams the
+// query loop consumes.
+type scaleWorld struct {
+	net       *topology.Network
+	csr       *topology.CSR
+	clientIDs []topology.NodeID
+	holdings  []map[core.Key]struct{}
+	zipf      *rng.Zipf
+	providers int
+	root      *rng.Stream
+	query     *rng.Stream
+	eng       *search.Engine
+}
+
+// buildScaleWorld wires, partitions and freezes one cell's network and
+// constructs its engine over the CSR snapshot. Everything is a pure
+// function of cfg.
+func buildScaleWorld(cfg ScaleConfig) (*scaleWorld, error) {
+	fx, err := buildScaleFixture(cfg)
+	if err != nil {
+		return nil, err
+	}
+	n := cfg.Nodes
+	classes := netsim.AssignClasses(fx.root.Split().Intn, n)
 	policy := cfg.Policy
 	if policy == "" {
 		policy = "flood"
@@ -341,12 +389,10 @@ func buildScaleWorld(cfg ScaleConfig) (*scaleWorld, error) {
 	// network: the cascade core devirtualizes neighbor lookup on it.
 	// RunRefreeze re-freezes the same *CSR in place after churn epochs,
 	// which the engine sees through the shared pointer.
-	csr := net.Freeze()
+	csr := fx.net.Freeze()
+	delayStream := fx.delay
 	eng, err := search.New(
-		search.Over(csr, core.ContentFunc(func(id topology.NodeID, key core.Key) bool {
-			_, ok := holdings[id][key]
-			return ok
-		})),
+		search.Over(csr, fx.content()),
 		search.WithPolicy(policy),
 		search.WithSeed(cfg.Seed),
 		search.WithTTL(cfg.TTL),
@@ -358,14 +404,14 @@ func buildScaleWorld(cfg ScaleConfig) (*scaleWorld, error) {
 		return nil, err
 	}
 	return &scaleWorld{
-		net:       net,
+		net:       fx.net,
 		csr:       csr,
-		clientIDs: clientIDs,
-		holdings:  holdings,
-		zipf:      zipf,
-		providers: providers,
-		root:      root,
-		query:     queryStream,
+		clientIDs: fx.clientIDs,
+		holdings:  fx.holdings,
+		zipf:      fx.zipf,
+		providers: fx.providers,
+		root:      fx.root,
+		query:     fx.query,
 		eng:       eng,
 	}, nil
 }

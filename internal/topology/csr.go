@@ -107,6 +107,17 @@ func growCap[T any](s []T, n int) []T {
 	return make([]T, n)
 }
 
+// Clone returns a deep copy with fresh backing arrays — a snapshot of
+// the snapshot, immune to a later FreezeInto over the receiver.
+// Epoch-replay tests use it to keep every published adjacency
+// comparable after its buffer re-enters rotation.
+func (c *CSR) Clone() *CSR {
+	return &CSR{
+		offsets: append([]int32(nil), c.offsets...),
+		edges:   append([]NodeID(nil), c.edges...),
+	}
+}
+
 // Len returns the number of nodes in the snapshot.
 func (c *CSR) Len() int { return len(c.offsets) - 1 }
 

@@ -1,0 +1,84 @@
+package topology
+
+import "fmt"
+
+// DeltaOp enumerates the topology mutations a churn epoch batches.
+type DeltaOp uint8
+
+const (
+	// OpConnect adds the directed edge Src→Dst (plus the bookkeeping
+	// Network.Connect implies: Dst's incoming entry, and the reverse
+	// edge in the Symmetric regime).
+	OpConnect DeltaOp = iota
+	// OpDisconnect removes the edge Src→Dst (Network.Disconnect).
+	OpDisconnect
+	// OpIsolate removes every edge touching Src, both directions — the
+	// "peer logged off" delta. Dst is ignored.
+	OpIsolate
+)
+
+// String implements fmt.Stringer.
+func (op DeltaOp) String() string {
+	switch op {
+	case OpConnect:
+		return "connect"
+	case OpDisconnect:
+		return "disconnect"
+	case OpIsolate:
+		return "isolate"
+	default:
+		return fmt.Sprintf("DeltaOp(%d)", uint8(op))
+	}
+}
+
+// Delta is one batched topology mutation. Churn producers record
+// deltas instead of stopping the world: a SnapshotStore's writer
+// applies a batch to its build-side Network and publishes one fresh
+// epoch, while readers keep draining queries on the previous one.
+//
+// Deltas carry Network-method semantics, not raw edge-list edits: a
+// Connect that fails (capacity, duplicate, self-edge) is a no-op
+// exactly as the interactive call would be, so a delta log replayed
+// against an equal starting Network always reproduces the same final
+// adjacency (the churn-delta property suite locks this down).
+type Delta struct {
+	Op       DeltaOp
+	Src, Dst NodeID
+}
+
+// Rewire returns the two-delta sequence of one reconfiguration step:
+// drop src→old, attach src→new.
+func Rewire(src, old, new NodeID) [2]Delta {
+	return [2]Delta{
+		{Op: OpDisconnect, Src: src, Dst: old},
+		{Op: OpConnect, Src: src, Dst: new},
+	}
+}
+
+// Apply executes one delta against the network, reporting whether the
+// topology changed (OpIsolate always reports true).
+func (net *Network) Apply(d Delta) bool {
+	switch d.Op {
+	case OpConnect:
+		return net.Connect(d.Src, d.Dst)
+	case OpDisconnect:
+		return net.Disconnect(d.Src, d.Dst)
+	case OpIsolate:
+		net.Isolate(d.Src)
+		return true
+	default:
+		panic(fmt.Sprintf("topology: apply %v", d.Op))
+	}
+}
+
+// ApplyAll executes a delta batch in order and returns how many deltas
+// changed the topology.
+func (net *Network) ApplyAll(ds []Delta) int {
+	changed := 0
+	for _, d := range ds {
+		if net.Apply(d) {
+			changed++
+		}
+	}
+	return changed
+}

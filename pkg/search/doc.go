@@ -18,9 +18,28 @@
 //   - Batch: fan-out — many queries over a bounded worker group with
 //     per-query deterministic seeds, byte-identical to sequential Do
 //     at any worker count.
+//   - Saturate: sustained serving — N resident workers with pinned
+//     scratch state drain a batched admission queue; still
+//     byte-identical to sequential Do.
 //
 // Every call accepts a context.Context; cancellation is checked
 // between cascade hops, so even 100k-node floods stop promptly.
+//
+// # Serving under churn
+//
+// A static Engine reads one topology for its whole life (a live
+// Network view, or an immutable CSR snapshot via WithSnapshot). For
+// workloads where the topology churns while queries are in flight,
+// WithSnapshotStore binds the Engine to a topology.SnapshotStore
+// instead: every query — through Do, Stream, Batch or a Saturator —
+// acquires one immutable snapshot epoch, runs entirely on it, and
+// tags Result.Epoch with the epoch it saw. A single writer applies
+// churn deltas through the store, which re-freezes into an off-duty
+// buffer and publishes by atomic pointer swap: queries never wait for
+// a re-freeze, and a query's outcome is byte-identical to a quiesced
+// replay against its pinned epoch. See the WithSnapshotStore and
+// Engine.Saturate examples, and DESIGN.md ("Snapshot lifecycle &
+// epoch reclamation") for the reclamation protocol.
 //
 // # Policies
 //

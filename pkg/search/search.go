@@ -54,6 +54,20 @@ type composite struct {
 	core.Content
 }
 
+// OverContent wraps a bare content oracle into a Network whose topology
+// half is empty — the natural companion to WithSnapshotStore, where the
+// graph comes from the pinned snapshot and the Network's topology
+// methods are never consulted.
+func OverContent(c core.Content) Network {
+	return composite{emptyGraph{}, c}
+}
+
+// emptyGraph is the placeholder topology half of OverContent.
+type emptyGraph struct{}
+
+func (emptyGraph) Out(NodeID) []NodeID { return nil }
+func (emptyGraph) Online(NodeID) bool  { return true }
+
 // Query is one search request. The zero value of every field defers to
 // the Engine's configured default, so steady-state callers populate
 // only Key and Origin.
@@ -102,6 +116,10 @@ type Result struct {
 	Visited int
 	// FirstResultDelay is the smallest hit delay, 0 when no hits.
 	FirstResultDelay float64
+	// Epoch is the snapshot-store epoch that served the query — the
+	// whole cascade ran on this one pinned snapshot, never a mix of two.
+	// Zero unless the Engine was built with WithSnapshotStore.
+	Epoch uint64
 }
 
 // Found reports whether at least one result was obtained.
@@ -150,6 +168,7 @@ type Engine struct {
 	batchWorkers   int
 	hint           int
 	nodes          int // node count when the graph knows one; 0 = unknown
+	store          *topology.SnapshotStore
 
 	// newPolicy, when non-nil, builds a fresh per-query policy from a
 	// derived seed (stochastic registry families); otherwise
@@ -178,6 +197,7 @@ type config struct {
 	batchWorkers   int
 	hint           int
 	snapshot       int
+	store          *topology.SnapshotStore
 
 	err error
 }
@@ -328,9 +348,10 @@ func WithScratchHint(n int) Option {
 // outcomes.
 //
 // The snapshot is immutable: topology changes made to the underlying
-// Network after New are invisible to the Engine (rebuild the Engine —
-// or pass a re-frozen CSR via Over — after reconfiguration epochs),
-// and every node is treated as permanently online. New returns an
+// Network after New are invisible to the Engine — serve from a
+// topology.SnapshotStore (WithSnapshotStore) when the graph must keep
+// changing under live queries — and every node is treated as
+// permanently online. New returns an
 // error if any node is offline at freeze time, because the snapshot
 // could not represent it. WithSnapshot also pre-sizes the scratch pool
 // for n nodes unless WithScratchHint set a different hint.
@@ -345,6 +366,33 @@ func WithSnapshot(n int) Option {
 			return
 		}
 		c.snapshot = n
+	}
+}
+
+// WithSnapshotStore serves every search from a live
+// topology.SnapshotStore instead of a fixed graph: each call — Do,
+// Stream, Batch, Explore and every Saturator query — pins the store's
+// current epoch for exactly the duration of its cascade, so a query
+// always runs on one internally-consistent CSR snapshot even while the
+// store's writer publishes churn epochs concurrently. The pin engages
+// the same devirtualized fast path as WithSnapshot; Result.Epoch
+// records which epoch served each query.
+//
+// The Network passed to New supplies only the content oracle
+// (HasContent); its topology methods are never consulted — the pinned
+// snapshot is the graph. As with WithSnapshot, snapshots treat every
+// node as online: liveness churn must be expressed as topology deltas
+// (isolate on logoff) applied through the store's writer.
+//
+// WithSnapshotStore and WithSnapshot are mutually exclusive. Scratch
+// pre-sizing defaults to the store's node count.
+func WithSnapshotStore(store *topology.SnapshotStore) Option {
+	return func(c *config) {
+		if store == nil {
+			c.fail(fmt.Errorf("search: WithSnapshotStore with nil store"))
+			return
+		}
+		c.store = store
 	}
 }
 
@@ -383,6 +431,19 @@ func New(net Network, opts ...Option) (*Engine, error) {
 		hint:           cfg.hint,
 	}
 	graph := graphOf(net)
+	if cfg.store != nil {
+		if cfg.snapshot > 0 {
+			return nil, fmt.Errorf("search: WithSnapshotStore and WithSnapshot are mutually exclusive")
+		}
+		e.store = cfg.store
+		// The template's graph is a placeholder: runWith and Explore
+		// replace it with the pinned epoch's snapshot on every call.
+		graph = nil
+		e.nodes = e.store.Len()
+		if e.hint == 0 {
+			e.hint = e.nodes
+		}
+	}
 	if cfg.snapshot > 0 {
 		n := cfg.snapshot
 		for i := 0; i < n; i++ {
@@ -484,6 +545,11 @@ type netContent struct{ n Network }
 
 func (c netContent) HasContent(id NodeID, key Key) bool { return c.n.HasContent(id, key) }
 
+// Store returns the snapshot store the Engine serves from, or nil for
+// fixed-graph Engines. Callers publish churn through it; the Engine
+// only ever reads.
+func (e *Engine) Store() *topology.SnapshotStore { return e.store }
+
 // Policy returns the shared forward policy, or nil when the Engine
 // instantiates a stochastic policy per query.
 func (e *Engine) Policy() core.ForwardPolicy {
@@ -557,6 +623,16 @@ func (e *Engine) runWith(ctx context.Context, q *Query, seed uint64, s *core.Scr
 	}
 
 	c := e.template // value copy: per-call state never touches the shared template
+	var epoch uint64
+	if e.store != nil {
+		// Pin one epoch for the whole cascade: the writer may publish any
+		// number of fresh snapshots meanwhile, but this query's graph is
+		// immutable until the deferred release.
+		pin := e.store.Acquire()
+		defer pin.Release()
+		c.Graph = pin.Graph()
+		epoch = pin.Epoch()
+	}
 	if e.newPolicy != nil {
 		c.Forward = e.newPolicy(seed)
 	}
@@ -607,6 +683,7 @@ func (e *Engine) runWith(ctx context.Context, q *Query, seed uint64, s *core.Scr
 		ReplyMessages:    out.ReplyMessages,
 		Visited:          out.Visited,
 		FirstResultDelay: out.FirstResultDelay,
+		Epoch:            epoch,
 	}
 	// Streaming consumers already received every hit through onHit;
 	// copying the pooled buffer for them would be a dead allocation.
@@ -720,6 +797,11 @@ func (e *Engine) Explore(ctx context.Context, x Exploration) (*core.ExploreOutco
 	}
 
 	c := e.template
+	if e.store != nil {
+		pin := e.store.Acquire()
+		defer pin.Release()
+		c.Graph = pin.Graph()
+	}
 	if e.newPolicy != nil {
 		c.Forward = e.newPolicy(runner.DeriveSeed(e.seed, "explore",
 			strconv.FormatUint(x.ID, 10),
