@@ -18,16 +18,22 @@ package repro
 import (
 	"context"
 	"fmt"
+	"net/http"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/daemon"
 	"repro/internal/eventq"
 	"repro/internal/experiments"
 	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/pkg/search"
+	"repro/pkg/searchclient"
 )
 
 // BenchmarkFig1 regenerates Figure 1 (hops = 2): queries satisfied per
@@ -477,6 +483,73 @@ func BenchmarkRunnerWorkers(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkDaemonREST measures queries/sec through the dsearchd REST
+// path: an in-process 50-node chan-transport daemon (the CI-scale
+// deployment) serving a fixed 2,000-query slab fanned out over 64
+// client goroutines per op, every query an existence probe (MaxHits 1)
+// dispatched through pkg/searchclient. Relative to the in-process
+// saturation benchmarks this adds HTTP round-trips, JSON codecs and
+// the live actor fabric — the serving stack a deployment actually
+// pays; the queries/sec metric is the pr8 point of the repository's
+// BENCH_history.json trajectory.
+func BenchmarkDaemonREST(b *testing.B) {
+	const (
+		slab    = 2_000
+		workers = 64
+	)
+	srv, err := daemon.New(daemon.Config{
+		Nodes: 50, Degree: 3, TTL: 3, Keys: 200, Replicas: 3, Seed: 42,
+		QueryWindowMillis: 100,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Drain(context.Background())
+
+	plan := daemon.BuildWorld(42, 50, 3, 200, 3).QueryPlan(slab)
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConnsPerHost = workers
+	client := searchclient.New(srv.Addr(), searchclient.WithHTTPClient(
+		&http.Client{Timeout: 30 * time.Second, Transport: tr}))
+	ctx := context.Background()
+
+	run := func() (hits int64) {
+		var count atomic.Int64
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, workers)
+		for _, q := range plan {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(q daemon.QuerySpec) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				origin := int(q.Origin)
+				resp, err := client.Query(ctx, searchclient.QueryRequest{
+					Key: uint64(q.Key), Origin: &origin, MaxHits: 1,
+				})
+				if err == nil && resp.Found() {
+					count.Add(1)
+				}
+			}(q)
+		}
+		wg.Wait()
+		return count.Load()
+	}
+	run() // warm connections and actor fabric outside the timed region
+	b.ResetTimer()
+	var hits int64
+	for i := 0; i < b.N; i++ {
+		hits += run()
+	}
+	b.StopTimer()
+	if hits == 0 {
+		b.Fatal("no hits through the REST path")
+	}
+	b.ReportMetric(float64(b.N*slab)/b.Elapsed().Seconds(), "queries/sec")
+	b.ReportMetric(float64(hits)/float64(b.N*slab), "hit-rate")
 }
 
 // BenchmarkWebCache runs the Squid-like case study.

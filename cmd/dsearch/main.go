@@ -17,13 +17,20 @@
 //	neighbors       print the current neighbor set
 //	reconfigure     run one Algo 5 reconfiguration
 //	quit            exit
+//
+// With -addr, dsearch is instead a client of a running dsearchd
+// daemon: no local node is started, and the same stdin commands (plus
+// "cluster" and "stats") go over the daemon's HTTP/JSON plane via
+// pkg/searchclient.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -34,10 +41,12 @@ import (
 	"repro/internal/rng"
 	"repro/internal/topology"
 	"repro/pkg/search"
+	"repro/pkg/searchclient"
 )
 
 func main() {
 	var (
+		addr      = flag.String("addr", "", "dsearchd HTTP address; client mode, no local node")
 		id        = flag.Int("id", 0, "this node's ID (unique in the network)")
 		listen    = flag.String("listen", "127.0.0.1:7000", "listen address")
 		peers     = flag.String("peers", "", "peer address book: id=host:port,...")
@@ -54,6 +63,10 @@ func main() {
 
 	if *policy == "help" {
 		fmt.Println("policies:", strings.Join(search.PolicyNames(), " "))
+		return
+	}
+	if *addr != "" {
+		clientREPL(*addr, *timeout)
 		return
 	}
 	forward, err := search.PolicyByName(*policy, search.PolicyEnv{Intn: rng.New(*seed).Intn})
@@ -93,7 +106,7 @@ func main() {
 		Forward:   forward,
 	})
 
-	addr, stopListen, err := live.Listen(*listen, node.Deliver)
+	bound, stopListen, err := live.Listen(*listen, node.Deliver)
 	if err != nil {
 		fatalf("listen: %v", err)
 	}
@@ -105,7 +118,7 @@ func main() {
 		node.AddNeighbor(topology.NodeID(nb))
 	}
 	fmt.Printf("node %d listening on %s, serving %d keys, neighbors %v\n",
-		*id, addr, len(store), node.Neighbors())
+		*id, bound, len(store), node.Neighbors())
 
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("> ")
@@ -150,6 +163,93 @@ func main() {
 	// still answers peers' queries). Interrupt to stop.
 	fmt.Println("stdin closed; serving until interrupted")
 	select {}
+}
+
+// clientREPL drives a running dsearchd over pkg/searchclient with the
+// same stdin command language as the local-node mode.
+func clientREPL(addr string, timeout time.Duration) {
+	c := searchclient.New(addr)
+	ctx := context.Background()
+	if err := c.Ready(ctx); err != nil {
+		fatalf("daemon at %s not ready: %v", addr, err)
+	}
+	fmt.Printf("connected to dsearchd at %s\n", addr)
+
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) == 0 {
+			fmt.Print("> ")
+			continue
+		}
+		switch fields[0] {
+		case "search":
+			if len(fields) != 2 {
+				fmt.Println("usage: search <key>")
+				break
+			}
+			k, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				fmt.Printf("bad key: %v\n", err)
+				break
+			}
+			resp, err := c.Query(ctx, searchclient.QueryRequest{
+				Key:           k,
+				TimeoutMillis: int(timeout / time.Millisecond),
+			})
+			if err != nil {
+				fmt.Printf("query: %v\n", err)
+				break
+			}
+			if !resp.Found() {
+				fmt.Printf("NOT FOUND (origin %d)\n", resp.Origin)
+			}
+			for _, h := range resp.Hits {
+				fmt.Printf("hit: node %d, %d hop(s), link %s\n", h.Holder, h.Hops, h.Class)
+			}
+		case "cluster":
+			info, err := c.Cluster(ctx)
+			if err != nil {
+				fmt.Printf("cluster: %v\n", err)
+				break
+			}
+			fmt.Printf("self %s, state %s, epoch %d, %d member(s)\n",
+				info.Self, info.State, info.Epoch, len(info.Members))
+			for _, m := range info.Members {
+				fmt.Printf("  %s http=%s nodes [%d,%d)\n",
+					m.Name, m.HTTP, m.BaseID, m.BaseID+m.Nodes)
+			}
+		case "stats":
+			stats, err := c.Stats(ctx)
+			if err != nil {
+				fmt.Printf("stats: %v\n", err)
+				break
+			}
+			for _, k := range sortedKeys(stats) {
+				fmt.Printf("  %s %d\n", k, stats[k])
+			}
+		case "reconfigure":
+			if err := c.Reconfig(ctx); err != nil {
+				fmt.Printf("reconfigure: %v\n", err)
+			}
+		case "quit", "exit":
+			return
+		default:
+			fmt.Println("commands: search <key> | cluster | stats | reconfigure | quit")
+		}
+		fmt.Print("> ")
+	}
+}
+
+// sortedKeys returns a map's keys in sorted order.
+func sortedKeys(m map[string]uint64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // splitInts parses "1,2,3" (empty string allowed).

@@ -1,0 +1,164 @@
+// Command dsearchd is the long-running cluster daemon: one process
+// hosts a shard of live repository nodes, finds the other shards by
+// seed-list + gossip membership, and serves the HTTP/JSON
+// query+control plane that pkg/searchclient speaks.
+//
+// Single-process cluster (in-process channel fabric):
+//
+//	dsearchd -nodes 50 -degree 3 -ttl 3 -seed 42 -http 127.0.0.1:7080
+//
+// Three-process cluster over loopback TCP (all members must agree on
+// -total, -seed, -degree, -keys and -replicas — the shared world):
+//
+//	dsearchd -transport tcp -total 12 -nodes 4 -base 0 -http 127.0.0.1:7080
+//	dsearchd -transport tcp -total 12 -nodes 4 -base 4 -join 127.0.0.1:7080
+//	dsearchd -transport tcp -total 12 -nodes 4 -base 8 -join 127.0.0.1:7080
+//
+// A JSON config file (-config, same field names as the flags' JSON
+// tags) seeds the configuration; explicitly set flags override it.
+// SIGINT/SIGTERM trigger a graceful drain: admission stops, in-flight
+// queries finish, nodes drain their inboxes, then the process exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"repro/internal/daemon"
+)
+
+func main() {
+	var (
+		cfgPath = flag.String("config", "", "JSON config file (flags override it)")
+		name    = flag.String("name", "", "cluster-unique member name (default d<base>)")
+		httpA   = flag.String("http", "127.0.0.1:0", "HTTP listen address (:0 = ephemeral)")
+		trans   = flag.String("transport", daemon.TransportChan, "envelope transport: chan or tcp")
+		host    = flag.String("node-host", "127.0.0.1", "host node listeners bind on (tcp)")
+
+		nodes  = flag.Int("nodes", 8, "local node count")
+		baseID = flag.Int("base", 0, "first local node ID")
+		total  = flag.Int("total", 0, "cluster node count (0 = nodes)")
+
+		seed     = flag.Uint64("seed", 1, "world seed (cluster-wide)")
+		degree   = flag.Int("degree", 4, "overlay wiring degree")
+		keys     = flag.Int("keys", 256, "catalog size")
+		replicas = flag.Int("replicas", 3, "copies per key")
+
+		ttl    = flag.Int("ttl", 4, "default search hop limit")
+		policy = flag.String("policy", "flood", "forward policy registry name")
+		class  = flag.String("class", "cable", "bandwidth class: 56k, cable or lan")
+
+		join    = flag.String("join", "", "seed daemon HTTP addresses, comma-separated")
+		gossipI = flag.Int("gossip-interval", 500, "gossip round interval (ms)")
+		gossipF = flag.Int("gossip-fanout", 2, "peers contacted per gossip round")
+		window  = flag.Int("query-window", 100, "default hit-collection window (ms)")
+		drainT  = flag.Int("drain-timeout", 10_000, "graceful drain bound (ms)")
+	)
+	flag.Parse()
+
+	var cfg daemon.Config
+	if *cfgPath != "" {
+		var err error
+		if cfg, err = daemon.LoadConfig(*cfgPath); err != nil {
+			fatalf("%v", err)
+		}
+	}
+
+	// Explicitly set flags override the file; otherwise flags only fill
+	// fields the file left zero (so file values survive the defaults
+	// baked into flag declarations).
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if cfg.Name == "" || set["name"] {
+		cfg.Name = *name
+	}
+	if cfg.HTTPAddr == "" || set["http"] {
+		cfg.HTTPAddr = *httpA
+	}
+	if cfg.Transport == "" || set["transport"] {
+		cfg.Transport = *trans
+	}
+	if cfg.NodeHost == "" || set["node-host"] {
+		cfg.NodeHost = *host
+	}
+	if cfg.Nodes == 0 || set["nodes"] {
+		cfg.Nodes = *nodes
+	}
+	if cfg.BaseID == 0 || set["base"] {
+		cfg.BaseID = *baseID
+	}
+	if cfg.Total == 0 || set["total"] {
+		cfg.Total = *total
+	}
+	if cfg.Seed == 0 || set["seed"] {
+		cfg.Seed = *seed
+	}
+	if cfg.Degree == 0 || set["degree"] {
+		cfg.Degree = *degree
+	}
+	if cfg.Keys == 0 || set["keys"] {
+		cfg.Keys = *keys
+	}
+	if cfg.Replicas == 0 || set["replicas"] {
+		cfg.Replicas = *replicas
+	}
+	if cfg.TTL == 0 || set["ttl"] {
+		cfg.TTL = *ttl
+	}
+	if cfg.Policy == "" || set["policy"] {
+		cfg.Policy = *policy
+	}
+	if cfg.Class == "" || set["class"] {
+		cfg.Class = *class
+	}
+	if *join != "" {
+		cfg.Join = nil
+		for _, a := range strings.Split(*join, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				cfg.Join = append(cfg.Join, a)
+			}
+		}
+	}
+	if cfg.GossipIntervalMillis == 0 || set["gossip-interval"] {
+		cfg.GossipIntervalMillis = *gossipI
+	}
+	if cfg.GossipFanout == 0 || set["gossip-fanout"] {
+		cfg.GossipFanout = *gossipF
+	}
+	if cfg.QueryWindowMillis == 0 || set["query-window"] {
+		cfg.QueryWindowMillis = *window
+	}
+	if cfg.DrainTimeoutMillis == 0 || set["drain-timeout"] {
+		cfg.DrainTimeoutMillis = *drainT
+	}
+
+	srv, err := daemon.New(cfg)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	srv.Start()
+	// The three-process harness and shell scripts parse this line for
+	// the ephemeral port; keep its shape stable.
+	fmt.Printf("dsearchd: listening http=%s nodes=%d base=%d transport=%s\n",
+		srv.Addr(), cfg.Nodes, cfg.BaseID, cfg.Transport)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("dsearchd: draining")
+	if err := srv.Drain(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "dsearchd: drain: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("dsearchd: stopped")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "dsearchd: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,0 +1,173 @@
+package daemon
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// Transport selection for a daemon's envelope plane.
+const (
+	// TransportChan runs the whole cluster in one process over the
+	// in-process channel fabric (Total must equal Nodes). This is the
+	// CI-scale deployment and the parity harness's subject.
+	TransportChan = "chan"
+	// TransportTCP gives every local node a loopback TCP listener and
+	// delivers cross-process envelopes over gob/TCP; membership gossip
+	// distributes the listener addresses.
+	TransportTCP = "tcp"
+)
+
+// Config parameterizes one dsearchd process. The zero value is not
+// runnable; ApplyDefaults fills the optional fields and Validate
+// rejects the rest. Durations are carried as integer milliseconds so a
+// config file is plain JSON numbers.
+type Config struct {
+	// Name is this process's cluster-unique member name; defaults to
+	// "d<BaseID>".
+	Name string `json:"name"`
+	// HTTPAddr is the control/query-plane listen address; ":0" and
+	// "127.0.0.1:0" bind an ephemeral port (Server.Addr reports it).
+	HTTPAddr string `json:"http_addr"`
+	// Transport is TransportChan or TransportTCP.
+	Transport string `json:"transport"`
+	// NodeHost is the host node listeners bind on in TCP mode.
+	NodeHost string `json:"node_host"`
+
+	// Nodes is the local shard size; BaseID its first node ID; Total
+	// the whole cluster's node count (0 means Nodes — single-process).
+	Nodes  int `json:"nodes"`
+	BaseID int `json:"base_id"`
+	Total  int `json:"total"`
+
+	// Seed, Degree, Keys and Replicas parameterize the shared World;
+	// every member of one cluster must agree on them (and on Total).
+	Seed     uint64 `json:"seed"`
+	Degree   int    `json:"degree"`
+	Keys     int    `json:"keys"`
+	Replicas int    `json:"replicas"`
+
+	// TTL is the default search depth; Policy the pkg/search registry
+	// name each node forwards with; Class the advertised bandwidth
+	// class ("56k", "cable", "lan").
+	TTL    int    `json:"ttl"`
+	Policy string `json:"policy"`
+	Class  string `json:"class"`
+
+	// Join lists seed daemon HTTP addresses for membership bootstrap.
+	Join []string `json:"join"`
+	// GossipIntervalMillis paces peer-exchange rounds; GossipFanout is
+	// how many peers each round contacts.
+	GossipIntervalMillis int `json:"gossip_interval_ms"`
+	GossipFanout         int `json:"gossip_fanout"`
+
+	// QueryWindowMillis is the default per-query hit-collection window
+	// when a request does not carry its own.
+	QueryWindowMillis int `json:"query_window_ms"`
+	// DrainTimeoutMillis bounds how long Drain waits for in-flight
+	// queries before giving up on them.
+	DrainTimeoutMillis int `json:"drain_timeout_ms"`
+}
+
+// ApplyDefaults fills unset optional fields in place.
+func (c *Config) ApplyDefaults() {
+	if c.Transport == "" {
+		c.Transport = TransportChan
+	}
+	if c.NodeHost == "" {
+		c.NodeHost = "127.0.0.1"
+	}
+	if c.Total == 0 {
+		c.Total = c.Nodes
+	}
+	if c.Name == "" {
+		c.Name = fmt.Sprintf("d%d", c.BaseID)
+	}
+	if c.HTTPAddr == "" {
+		c.HTTPAddr = "127.0.0.1:0"
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Degree == 0 {
+		c.Degree = 4
+	}
+	if c.Keys == 0 {
+		c.Keys = 256
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 3
+	}
+	if c.TTL == 0 {
+		c.TTL = 4
+	}
+	if c.Policy == "" {
+		c.Policy = "flood"
+	}
+	if c.Class == "" {
+		c.Class = "cable"
+	}
+	if c.GossipIntervalMillis == 0 {
+		c.GossipIntervalMillis = 500
+	}
+	if c.GossipFanout == 0 {
+		c.GossipFanout = 2
+	}
+	if c.QueryWindowMillis == 0 {
+		c.QueryWindowMillis = 100
+	}
+	if c.DrainTimeoutMillis == 0 {
+		c.DrainTimeoutMillis = 10_000
+	}
+}
+
+// Validate reports configuration errors after defaulting.
+func (c *Config) Validate() error {
+	switch {
+	case c.Nodes <= 0:
+		return fmt.Errorf("daemon: non-positive local node count %d", c.Nodes)
+	case c.BaseID < 0:
+		return fmt.Errorf("daemon: negative base ID %d", c.BaseID)
+	case c.Total < c.BaseID+c.Nodes:
+		return fmt.Errorf("daemon: total %d < base %d + nodes %d", c.Total, c.BaseID, c.Nodes)
+	case c.Transport != TransportChan && c.Transport != TransportTCP:
+		return fmt.Errorf("daemon: unknown transport %q", c.Transport)
+	case c.Transport == TransportChan && (c.Total != c.Nodes || c.BaseID != 0):
+		return fmt.Errorf("daemon: chan transport requires the whole cluster in-process (base 0, total == nodes)")
+	case c.Degree <= 0 || c.TTL <= 0 || c.Keys <= 0 || c.Replicas <= 0:
+		return fmt.Errorf("daemon: degree/ttl/keys/replicas must be positive")
+	case c.GossipFanout <= 0 || c.GossipIntervalMillis <= 0:
+		return fmt.Errorf("daemon: gossip fanout and interval must be positive")
+	}
+	return nil
+}
+
+// GossipInterval, QueryWindow and DrainTimeout return the millisecond
+// fields as durations.
+func (c *Config) GossipInterval() time.Duration {
+	return time.Duration(c.GossipIntervalMillis) * time.Millisecond
+}
+func (c *Config) QueryWindow() time.Duration {
+	return time.Duration(c.QueryWindowMillis) * time.Millisecond
+}
+func (c *Config) DrainTimeout() time.Duration {
+	return time.Duration(c.DrainTimeoutMillis) * time.Millisecond
+}
+
+// LoadConfig reads a JSON config file; unknown fields are errors so a
+// typo fails the boot instead of silently defaulting.
+func LoadConfig(path string) (Config, error) {
+	var c Config
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return c, fmt.Errorf("daemon: read config: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return c, fmt.Errorf("daemon: parse config %s: %w", path, err)
+	}
+	return c, nil
+}

@@ -1,0 +1,104 @@
+package daemon
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func TestConfigDefaultsAndValidate(t *testing.T) {
+	c := Config{Nodes: 8}
+	c.ApplyDefaults()
+	if err := c.Validate(); err != nil {
+		t.Fatalf("defaulted config invalid: %v", err)
+	}
+	if c.Total != 8 || c.Transport != TransportChan || c.Name != "d0" {
+		t.Fatalf("unexpected defaults: %+v", c)
+	}
+	if c.GossipInterval() <= 0 || c.QueryWindow() <= 0 || c.DrainTimeout() <= 0 {
+		t.Fatal("duration accessors returned non-positive values")
+	}
+}
+
+func TestConfigValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+		want string
+	}{
+		{"no nodes", func(c *Config) { c.Nodes = 0 }, "node count"},
+		{"negative base", func(c *Config) { c.BaseID = -1 }, "base"},
+		{"short total", func(c *Config) { c.Total = 4; c.BaseID = 2 }, "total"},
+		{"bad transport", func(c *Config) { c.Transport = "udp" }, "transport"},
+		{"chan shard", func(c *Config) { c.Total = 16 }, "whole cluster"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := Config{Nodes: 8}
+			c.ApplyDefaults()
+			tc.mut(&c)
+			err := c.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestLoadConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "daemon.json")
+	if err := os.WriteFile(path, []byte(`{
+		"nodes": 12, "seed": 9, "policy": "random-2", "transport": "chan"
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c, err := LoadConfig(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Nodes != 12 || c.Seed != 9 || c.Policy != "random-2" {
+		t.Fatalf("unexpected config: %+v", c)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"nodez": 12}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadConfig(bad); err == nil {
+		t.Fatal("unknown config field accepted")
+	}
+}
+
+func TestBuildWorldDeterministic(t *testing.T) {
+	a := BuildWorld(42, 50, 3, 200, 3)
+	b := BuildWorld(42, 50, 3, 200, 3)
+	for i := 0; i < 50; i++ {
+		oa, ob := a.Net.Out(topology.NodeID(i)), b.Net.Out(topology.NodeID(i))
+		if len(oa) != len(ob) {
+			t.Fatalf("node %d degree differs: %d vs %d", i, len(oa), len(ob))
+		}
+		for j := range oa {
+			if oa[j] != ob[j] {
+				t.Fatalf("node %d edge %d differs", i, j)
+			}
+		}
+	}
+	for k := 0; k < 200; k++ {
+		for i := 0; i < 50; i++ {
+			if a.HasContent(topology.NodeID(i), core.Key(k)) != b.HasContent(topology.NodeID(i), core.Key(k)) {
+				t.Fatalf("placement differs at node %d key %d", i, k)
+			}
+		}
+	}
+	pa, pb := a.QueryPlan(100), b.QueryPlan(100)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("query plan differs at %d: %+v vs %+v", i, pa[i], pb[i])
+		}
+	}
+}

@@ -1,0 +1,412 @@
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/rng"
+	"repro/internal/topology"
+	"repro/pkg/search"
+	"repro/pkg/searchclient"
+)
+
+// fanClient is a searchclient with enough idle connections for the
+// harness's concurrency.
+func fanClient(addr string, workers int) *searchclient.Client {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConnsPerHost = workers
+	return searchclient.New(addr, searchclient.WithHTTPClient(
+		&http.Client{Timeout: 30 * time.Second, Transport: tr}))
+}
+
+// simHitRate replays a World's query plan through the internal/driver
+// simulated twin over the identical graph and content, returning the
+// per-query hit outcomes.
+func simHitRate(t *testing.T, w *World, plan []QuerySpec, ttl int) []bool {
+	t.Helper()
+	sess, err := driver.New(driver.Spec{
+		Nodes:    w.Nodes,
+		Relation: topology.Symmetric,
+		Duration: 3600,
+		Content:  w,
+		Policy:   "flood",
+		TTL:      ttl,
+		Place:    func(s *driver.Session) { w.WireInto(s.Network()) },
+	}, rng.New(7))
+	if err != nil {
+		t.Fatalf("driver twin: %v", err)
+	}
+	sess.Start()
+	out := make([]bool, len(plan))
+	for i, q := range plan {
+		res := sess.Do(search.Query{
+			ID: uint64(i + 1), Key: q.Key, Origin: q.Origin,
+		})
+		out[i] = res.Found()
+	}
+	return out
+}
+
+// parityQueries returns the harness size: 10k at full scale, trimmed
+// under -short (the race-gated CI smoke), overridable via env for
+// larger sweeps.
+func parityQueries(t *testing.T) int {
+	if v := os.Getenv("DAEMON_PARITY_QUERIES"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			t.Fatalf("bad DAEMON_PARITY_QUERIES %q", v)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 1500
+	}
+	return 10_000
+}
+
+// TestClusterParityWithDriver is the integration harness of the
+// daemon: boot a 50-node cluster in-process, push the deterministic
+// query plan through the REST client, and require the hit rate to
+// match the simulated driver run on the same world within 1%. Flood
+// over a shared deterministic graph is reachability, so live and
+// simulated outcomes should agree query-by-query; the tolerance only
+// absorbs scheduling-induced loss (inbox drops under saturation).
+func TestClusterParityWithDriver(t *testing.T) {
+	const (
+		nodes, degree, ttl = 50, 3, 3
+		keys, replicas     = 200, 3
+		seed               = 42
+		workers            = 128
+	)
+	queries := parityQueries(t)
+
+	srv, err := New(Config{
+		Nodes: nodes, Degree: degree, TTL: ttl,
+		Keys: keys, Replicas: replicas, Seed: seed,
+		QueryWindowMillis: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Drain(context.Background())
+
+	w := BuildWorld(seed, nodes, degree, keys, replicas)
+	plan := w.QueryPlan(queries)
+
+	client := fanClient(srv.Addr(), workers)
+	ctx := context.Background()
+	liveHit := make([]bool, len(plan))
+	var failures atomic.Int64
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i, q := range plan {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, q QuerySpec) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			origin := int(q.Origin)
+			resp, err := client.Query(ctx, searchclient.QueryRequest{
+				Key:     uint64(q.Key),
+				Origin:  &origin,
+				MaxHits: 1, // existence probe: hits return early, only misses pay the window
+			})
+			if err != nil {
+				failures.Add(1)
+				return
+			}
+			liveHit[i] = resp.Found()
+		}(i, q)
+	}
+	wg.Wait()
+	if n := failures.Load(); n > 0 {
+		t.Fatalf("%d/%d REST queries failed", n, queries)
+	}
+
+	simHit := simHitRate(t, BuildWorld(seed, nodes, degree, keys, replicas), plan, ttl)
+
+	liveHits, simHits, mismatches := 0, 0, 0
+	for i := range plan {
+		if liveHit[i] {
+			liveHits++
+		}
+		if simHit[i] {
+			simHits++
+		}
+		if liveHit[i] != simHit[i] {
+			mismatches++
+		}
+	}
+	liveRate := float64(liveHits) / float64(queries)
+	simRate := float64(simHits) / float64(queries)
+	t.Logf("live %.4f vs sim %.4f over %d queries (%d per-query mismatches)",
+		liveRate, simRate, queries, mismatches)
+	if diff := math.Abs(liveRate - simRate); diff > 0.01 {
+		t.Fatalf("hit-rate parity broken: live %.4f vs sim %.4f (diff %.4f > 0.01)",
+			liveRate, simRate, diff)
+	}
+
+	// The REST plane's own counters must reflect the workload.
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stats["daemon_queries_total"]; got != uint64(queries) {
+		t.Fatalf("daemon_queries_total = %d, want %d", got, queries)
+	}
+	if got := stats["daemon_queries_hit_total"]; got != uint64(liveHits) {
+		t.Fatalf("daemon_queries_hit_total = %d, want %d", got, liveHits)
+	}
+	if stats["node_queries_seen"] == 0 || stats["node_hits_served"] == 0 {
+		t.Fatalf("node counters missing from /v1/stats: %v", stats)
+	}
+}
+
+// TestDrainCompletesInflightQueries: SIGTERM-style drain must let an
+// admitted query finish collecting (it holds the inflight group) and
+// reject everything after the flip.
+func TestDrainCompletesInflightQueries(t *testing.T) {
+	srv, err := New(Config{
+		Nodes: 16, Degree: 3, TTL: 3, Keys: 64, Replicas: 2, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+
+	client := searchclient.New(srv.Addr())
+	ctx := context.Background()
+
+	type outcome struct {
+		resp *searchclient.QueryResponse
+		err  error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		// Full-window collection (no MaxHits) so the query is still in
+		// flight when Drain flips the gate.
+		resp, err := client.Query(ctx, searchclient.QueryRequest{
+			Key: 1, TimeoutMillis: 400,
+		})
+		done <- outcome{resp, err}
+	}()
+	time.Sleep(100 * time.Millisecond) // let the query pass admission
+
+	start := time.Now()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if srv.State() != StateStopped {
+		t.Fatalf("state after drain = %v, want stopped", srv.State())
+	}
+	if waited := time.Since(start); waited < 200*time.Millisecond {
+		t.Fatalf("drain returned in %v, before the in-flight window could end", waited)
+	}
+	out := <-done
+	if out.err != nil {
+		t.Fatalf("in-flight query failed during drain: %v", out.err)
+	}
+
+	if _, err := client.Query(ctx, searchclient.QueryRequest{Key: 1}); err == nil {
+		t.Fatal("query after drain succeeded, want refusal")
+	}
+}
+
+// TestPauseResume: the control plane's pause gate rejects queries with
+// 503 and resume restores service; readiness tracks the same state.
+func TestPauseResume(t *testing.T) {
+	srv, err := New(Config{
+		Nodes: 8, Degree: 2, TTL: 2, Keys: 32, Replicas: 2, Seed: 3,
+		QueryWindowMillis: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Drain(context.Background())
+
+	client := searchclient.New(srv.Addr())
+	ctx := context.Background()
+	if err := client.Ready(ctx); err != nil {
+		t.Fatalf("ready: %v", err)
+	}
+	if err := client.Pause(ctx); err != nil {
+		t.Fatalf("pause: %v", err)
+	}
+	if err := client.Ready(ctx); err == nil {
+		t.Fatal("readyz succeeded while paused")
+	}
+	_, err = client.Query(ctx, searchclient.QueryRequest{Key: 1})
+	var se *searchclient.Error
+	if !asError(err, &se) || se.Status != http.StatusServiceUnavailable {
+		t.Fatalf("query while paused: got %v, want 503", err)
+	}
+	if err := client.Pause(ctx); err == nil {
+		t.Fatal("double pause succeeded, want conflict")
+	}
+	if err := client.Resume(ctx); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if _, err := client.Query(ctx, searchclient.QueryRequest{Key: 1, MaxHits: 1}); err != nil {
+		t.Fatalf("query after resume: %v", err)
+	}
+}
+
+// asError unwraps a searchclient.Error.
+func asError(err error, target **searchclient.Error) bool {
+	return errors.As(err, target)
+}
+
+// TestQueryValidation: out-of-catalog keys, remote origins and unknown
+// policies are 400s, not daemon crashes.
+func TestQueryValidation(t *testing.T) {
+	srv, err := New(Config{Nodes: 4, Degree: 2, TTL: 2, Keys: 16, Replicas: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	defer srv.Drain(context.Background())
+
+	client := searchclient.New(srv.Addr())
+	ctx := context.Background()
+	bad := func(req searchclient.QueryRequest, why string) {
+		t.Helper()
+		_, err := client.Query(ctx, req)
+		var se *searchclient.Error
+		if !asError(err, &se) || se.Status != http.StatusBadRequest {
+			t.Fatalf("%s: got %v, want 400", why, err)
+		}
+	}
+	bad(searchclient.QueryRequest{Key: 999}, "out-of-catalog key")
+	remote := 77
+	bad(searchclient.QueryRequest{Key: 1, Origin: &remote}, "remote origin")
+	bad(searchclient.QueryRequest{Key: 1, Policy: "no-such-policy"}, "unknown policy")
+
+	// A per-request policy override on a valid request must work.
+	if _, err := client.Query(ctx, searchclient.QueryRequest{
+		Key: 1, Policy: "random-1", MaxHits: 1, TimeoutMillis: 30,
+	}); err != nil {
+		t.Fatalf("policy override query: %v", err)
+	}
+}
+
+// TestThreeServersTCPGossipAndQueries boots a 12-node cluster as three
+// TCP-transport shards in one test process: membership must converge
+// by gossip from a single seed address, and cross-shard queries must
+// match the simulated twin's hit rate.
+func TestThreeServersTCPGossipAndQueries(t *testing.T) {
+	const (
+		total, perShard, degree, ttl = 12, 4, 2, 3
+		keys, replicas               = 64, 3
+		seed                         = 7
+	)
+	base := Config{
+		Transport: TransportTCP, Total: total, Nodes: perShard,
+		Seed: seed, Degree: degree, TTL: ttl, Keys: keys, Replicas: replicas,
+		GossipIntervalMillis: 50, QueryWindowMillis: 150,
+	}
+	var srvs []*Server
+	for i := 0; i < 3; i++ {
+		cfg := base
+		cfg.BaseID = i * perShard
+		cfg.Name = fmt.Sprintf("shard%d", i)
+		if i > 0 {
+			cfg.Join = []string{srvs[0].Addr()}
+		}
+		srv, err := New(cfg)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		srv.Start()
+		defer srv.Drain(context.Background())
+		srvs = append(srvs, srv)
+	}
+
+	ctx := context.Background()
+	clients := make([]*searchclient.Client, 3)
+	for i, srv := range srvs {
+		clients[i] = searchclient.New(srv.Addr())
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		full := true
+		for _, c := range clients {
+			info, err := c.Cluster(ctx)
+			if err != nil || len(info.Members) != 3 {
+				full = false
+				break
+			}
+		}
+		if full {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("membership did not converge to 3 shards in 10s")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	// One more round so every shard's transport address book covers the
+	// last-learned members before queries cross shards.
+	time.Sleep(150 * time.Millisecond)
+
+	w := BuildWorld(seed, total, degree, keys, replicas)
+	plan := w.QueryPlan(150)
+	simHit := simHitRate(t, BuildWorld(seed, total, degree, keys, replicas), plan, ttl)
+
+	liveHits, simHits := 0, 0
+	for i, q := range plan {
+		origin := int(q.Origin)
+		shard := origin / perShard
+		resp, err := clients[shard].Query(ctx, searchclient.QueryRequest{
+			Key: uint64(q.Key), Origin: &origin, MaxHits: 1,
+		})
+		if err != nil {
+			t.Fatalf("query %d via shard %d: %v", i, shard, err)
+		}
+		if resp.Found() {
+			liveHits++
+		}
+		if simHit[i] {
+			simHits++
+		}
+	}
+	liveRate := float64(liveHits) / float64(len(plan))
+	simRate := float64(simHits) / float64(len(plan))
+	t.Logf("tcp live %.4f vs sim %.4f over %d queries", liveRate, simRate, len(plan))
+	if diff := math.Abs(liveRate - simRate); diff > 0.02 {
+		t.Fatalf("tcp hit-rate diverged: live %.4f vs sim %.4f", liveRate, simRate)
+	}
+
+	// Epochs moved with gossip, and the view names every shard.
+	info, err := clients[2].Cluster(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Epoch < 3 {
+		t.Fatalf("epoch %d after convergence, want gossip-driven growth", info.Epoch)
+	}
+	for i := 0; i < 3; i++ {
+		name := fmt.Sprintf("shard%d", i)
+		found := false
+		for _, m := range info.Members {
+			if m.Name == name && m.Nodes == perShard && m.BaseID == i*perShard {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("member %s missing or wrong in view %+v", name, info.Members)
+		}
+	}
+}

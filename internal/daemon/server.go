@@ -1,0 +1,610 @@
+// Package daemon is the long-running cluster service behind
+// cmd/dsearchd: one process hosts a shard of live nodes, discovers the
+// other shards by gossip, and serves an HTTP/JSON query+control plane
+// whose wire contract lives in pkg/searchclient.
+//
+// The deployment model is deliberately two-headed. In chan-transport
+// mode one process hosts the entire cluster over the in-process
+// channel fabric — the CI-scale configuration, and the subject of the
+// live-vs-simulated parity harness. In tcp-transport mode each process
+// hosts a contiguous shard [BaseID, BaseID+Nodes) of the cluster's
+// node ID space, every local node gets its own loopback gob/TCP
+// listener, and gossip distributes listener addresses so shards find
+// each other without any central registry.
+package daemon
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/live"
+	"repro/internal/metrics"
+	"repro/internal/netsim"
+	"repro/internal/rng"
+	"repro/internal/topology"
+	"repro/pkg/search"
+	"repro/pkg/searchclient"
+)
+
+// State is the daemon lifecycle state machine. Transitions are
+// monotone except Ready↔Paused: Starting → Ready ⇄ Paused → Draining →
+// Stopped.
+type State int32
+
+// Lifecycle states.
+const (
+	StateStarting State = iota
+	StateReady
+	StatePaused
+	StateDraining
+	StateStopped
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case StateStarting:
+		return "starting"
+	case StateReady:
+		return "ready"
+	case StatePaused:
+		return "paused"
+	case StateDraining:
+		return "draining"
+	case StateStopped:
+		return "stopped"
+	default:
+		return fmt.Sprintf("State(%d)", int32(s))
+	}
+}
+
+// Server is one dsearchd process: a shard of live nodes, the gossip
+// membership state, and the HTTP plane that fronts both.
+type Server struct {
+	cfg   Config
+	world *World
+	g     *Gossip
+
+	reg       *metrics.Registry
+	nodeStats *live.NodeStats
+
+	nodes []*live.Node
+	chanT *live.ChanTransport
+	tcpT  *live.TCPTransport
+	// stopListeners closes the per-node envelope listeners (TCP mode).
+	stopListeners []func()
+
+	httpLn  net.Listener
+	httpSrv *http.Server
+
+	// state guards admission together with gateMu: a query handler
+	// takes gateMu.RLock, checks state==Ready, joins inflight and
+	// releases; Drain takes gateMu.Lock to flip the state so no new
+	// query can slip in after the flip, then waits out inflight.
+	state    atomic.Int32
+	gateMu   sync.RWMutex
+	inflight sync.WaitGroup
+
+	// nextOrigin round-robins unpinned queries over the local shard.
+	nextOrigin atomic.Uint64
+	// policySeq salts per-request stochastic policy streams.
+	policySeq atomic.Uint64
+
+	gossipStop chan struct{}
+	gossipDone chan struct{}
+	peerHC     *http.Client
+
+	qTotal, qHit, qRejected *metrics.Counter
+	gossipRounds            *metrics.Counter
+
+	startOnce sync.Once
+	drainOnce sync.Once
+	drainErr  error
+}
+
+// New builds a server: world derivation, node construction, and every
+// listener bind (HTTP and, in TCP mode, one envelope listener per
+// local node) happen here, so Addr is valid — and the process's
+// gossip entry complete — before Start launches anything.
+func New(cfg Config) (*Server, error) {
+	cfg.ApplyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	class, err := classFor(cfg.Class)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Server{
+		cfg:        cfg,
+		world:      BuildWorld(cfg.Seed, cfg.Total, cfg.Degree, cfg.Keys, cfg.Replicas),
+		reg:        metrics.NewRegistry(),
+		nodeStats:  &live.NodeStats{},
+		gossipStop: make(chan struct{}),
+		gossipDone: make(chan struct{}),
+		peerHC:     &http.Client{Timeout: 2 * time.Second},
+	}
+	s.qTotal = s.reg.Counter("daemon_queries_total")
+	s.qHit = s.reg.Counter("daemon_queries_hit_total")
+	s.qRejected = s.reg.Counter("daemon_queries_rejected_total")
+	s.gossipRounds = s.reg.Counter("daemon_gossip_rounds_total")
+	s.state.Store(int32(StateStarting))
+
+	var transport live.Transport
+	switch cfg.Transport {
+	case TransportChan:
+		s.chanT = live.NewChanTransport()
+		transport = s.chanT
+	case TransportTCP:
+		s.tcpT = live.NewTCPTransport()
+		transport = s.tcpT
+	}
+
+	// Per-node forward policies: one instance each, because stochastic
+	// families carry an rng stream that must not be shared across
+	// actors, and the stream layout must not disturb the World's.
+	policyRoot := rng.New(cfg.Seed ^ 0x9e3779b97f4a7c15)
+	s.nodes = make([]*live.Node, cfg.Nodes)
+	for i := range s.nodes {
+		id := topology.NodeID(cfg.BaseID + i)
+		pol, err := search.PolicyByName(cfg.Policy, search.PolicyEnv{Intn: policyRoot.Split().Intn})
+		if err != nil {
+			return nil, fmt.Errorf("daemon: policy %q: %w", cfg.Policy, err)
+		}
+		s.nodes[i] = live.NewNode(live.Config{
+			ID:        id,
+			Neighbors: s.world.MaxDegree,
+			TTL:       cfg.TTL,
+			Transport: transport,
+			Store:     s.world.StoreFor(id),
+			Class:     class,
+			Forward:   pol,
+			Stats:     s.nodeStats,
+		})
+	}
+
+	if s.chanT != nil {
+		for _, n := range s.nodes {
+			s.chanT.Attach(n)
+		}
+	}
+
+	// Bind everything before gossip can mention us.
+	ln, err := net.Listen("tcp", cfg.HTTPAddr)
+	if err != nil {
+		return nil, fmt.Errorf("daemon: bind http %s: %w", cfg.HTTPAddr, err)
+	}
+	s.httpLn = ln
+
+	var nodeAddrs []string
+	if s.tcpT != nil {
+		nodeAddrs = make([]string, len(s.nodes))
+		for i, n := range s.nodes {
+			addr, stop, err := live.Listen(cfg.NodeHost+":0", n.Deliver)
+			if err != nil {
+				s.closeListeners()
+				return nil, fmt.Errorf("daemon: bind node %d listener: %w", n.ID(), err)
+			}
+			nodeAddrs[i] = addr
+			s.stopListeners = append(s.stopListeners, stop)
+			s.tcpT.SetAddr(n.ID(), addr)
+		}
+	}
+
+	s.g = NewGossip(Member{
+		Name:      cfg.Name,
+		HTTP:      ln.Addr().String(),
+		BaseID:    cfg.BaseID,
+		Nodes:     cfg.Nodes,
+		NodeAddrs: nodeAddrs,
+	})
+
+	s.httpSrv = &http.Server{Handler: s.mux(), ReadHeaderTimeout: 5 * time.Second}
+	return s, nil
+}
+
+// Addr returns the bound HTTP address (valid from New on, so callers
+// using ":0" learn the ephemeral port).
+func (s *Server) Addr() string { return s.httpLn.Addr().String() }
+
+// State returns the current lifecycle state.
+func (s *Server) State() State { return State(s.state.Load()) }
+
+// Stats exposes the daemon's counter registry (tests and cmd wiring).
+func (s *Server) Stats() *metrics.Registry { return s.reg }
+
+// Start launches the node actors, wires the local shard's overlay
+// edges, starts HTTP serving and the gossip loop, and flips the state
+// to Ready. It returns once the daemon is serving; errors out of the
+// HTTP accept loop after that surface via Drain.
+func (s *Server) Start() {
+	s.startOnce.Do(func() {
+		for _, n := range s.nodes {
+			n.Start()
+		}
+		// Wiring goes through each node's actor loop, so it must follow
+		// Start. Each node adds its own view of every incident world
+		// edge; remote endpoints learn nothing here (the live protocol
+		// carries no wiring messages — the shared World already told
+		// every process the same graph).
+		for _, n := range s.nodes {
+			for _, nb := range s.world.Net.Out(n.ID()) {
+				n.AddNeighbor(nb)
+			}
+		}
+		go func() { _ = s.httpSrv.Serve(s.httpLn) }()
+		go s.gossipLoop()
+		s.state.Store(int32(StateReady))
+	})
+}
+
+// Drain is the graceful shutdown: stop admitting queries, wait out the
+// admitted ones (bounded by ctx and the configured drain timeout),
+// stop HTTP and gossip, drain and close every node, then the
+// transport. It is idempotent; cmd/dsearchd calls it on SIGTERM.
+func (s *Server) Drain(ctx context.Context) error {
+	s.drainOnce.Do(func() { s.drainErr = s.drain(ctx) })
+	return s.drainErr
+}
+
+func (s *Server) drain(ctx context.Context) error {
+	// Flip under the write lock: after this, no admission check can
+	// observe Ready, so inflight can only shrink.
+	s.gateMu.Lock()
+	s.state.Store(int32(StateDraining))
+	s.gateMu.Unlock()
+
+	ctx, cancel := context.WithTimeout(ctx, s.cfg.DrainTimeout())
+	defer cancel()
+
+	var err error
+	if !waitCtx(ctx, &s.inflight) {
+		err = errors.New("daemon: drain timed out with queries in flight")
+	}
+
+	close(s.gossipStop)
+	<-s.gossipDone
+	if shutErr := s.httpSrv.Shutdown(ctx); shutErr != nil && err == nil {
+		err = fmt.Errorf("daemon: http shutdown: %w", shutErr)
+	}
+	// Nodes drain their inboxes (queued envelopes are processed, late
+	// hits still count) before the listeners and transport go away.
+	for _, n := range s.nodes {
+		n.Close()
+	}
+	s.closeListeners()
+	if s.tcpT != nil {
+		s.tcpT.Close()
+	}
+	s.state.Store(int32(StateStopped))
+	return err
+}
+
+func (s *Server) closeListeners() {
+	for _, stop := range s.stopListeners {
+		stop()
+	}
+	s.stopListeners = nil
+}
+
+// waitCtx waits on wg until done or ctx expires; true means done.
+func waitCtx(ctx context.Context, wg *sync.WaitGroup) bool {
+	ch := make(chan struct{})
+	go func() { wg.Wait(); close(ch) }()
+	select {
+	case <-ch:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// admit joins the inflight group when the daemon is Ready. The
+// returned release must be called exactly once.
+func (s *Server) admit() (release func(), ok bool) {
+	s.gateMu.RLock()
+	defer s.gateMu.RUnlock()
+	if State(s.state.Load()) != StateReady {
+		return nil, false
+	}
+	s.inflight.Add(1)
+	return func() { s.inflight.Done() }, true
+}
+
+// localNode maps a cluster node ID to the local shard, nil if remote.
+func (s *Server) localNode(id int) *live.Node {
+	i := id - s.cfg.BaseID
+	if i < 0 || i >= len(s.nodes) {
+		return nil
+	}
+	return s.nodes[i]
+}
+
+// mux builds the HTTP plane.
+func (s *Server) mux() *http.ServeMux {
+	m := http.NewServeMux()
+	m.HandleFunc("POST /v1/query", s.handleQuery)
+	m.HandleFunc("GET /v1/cluster", s.handleCluster)
+	m.HandleFunc("GET /v1/stats", s.handleStats)
+	m.HandleFunc("POST /v1/control/pause", s.handlePause)
+	m.HandleFunc("POST /v1/control/resume", s.handleResume)
+	m.HandleFunc("POST /v1/control/reconfig", s.handleReconfig)
+	m.HandleFunc("POST /v1/gossip", s.handleGossip)
+	m.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	m.HandleFunc("GET /v1/readyz", s.handleReadyz)
+	return m
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req searchclient.QueryRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad query body: "+err.Error())
+		return
+	}
+	if req.Key >= uint64(s.cfg.Keys) {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Sprintf("key %d outside catalog [0,%d)", req.Key, s.cfg.Keys))
+		return
+	}
+
+	var node *live.Node
+	if req.Origin != nil {
+		if node = s.localNode(*req.Origin); node == nil {
+			writeErr(w, http.StatusBadRequest,
+				fmt.Sprintf("origin %d not hosted here (shard [%d,%d))",
+					*req.Origin, s.cfg.BaseID, s.cfg.BaseID+s.cfg.Nodes))
+			return
+		}
+	} else {
+		node = s.nodes[s.nextOrigin.Add(1)%uint64(len(s.nodes))]
+	}
+
+	// A per-request policy applies at the origin hop only: forwarding
+	// nodes are autonomous in the live protocol, so the override
+	// shapes the initial fan-out while the cluster keeps its
+	// configured behavior downstream.
+	var forward core.ForwardPolicy
+	if req.Policy != "" {
+		seq := s.policySeq.Add(1)
+		pol, err := search.PolicyByName(req.Policy,
+			search.PolicyEnv{Intn: rng.New(s.cfg.Seed ^ seq).Intn})
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "policy: "+err.Error())
+			return
+		}
+		forward = pol
+	}
+
+	timeout := s.cfg.QueryWindow()
+	if req.TimeoutMillis > 0 {
+		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+	}
+
+	release, ok := s.admit()
+	if !ok {
+		s.qRejected.Inc()
+		writeErr(w, http.StatusServiceUnavailable,
+			"not admitting queries (state "+s.State().String()+")")
+		return
+	}
+	defer release()
+
+	start := time.Now()
+	hits := node.Query(live.QueryOpts{
+		Key:     core.Key(req.Key),
+		TTL:     req.TTL,
+		Timeout: timeout,
+		MaxHits: req.MaxHits,
+		Forward: forward,
+	})
+	s.qTotal.Inc()
+	if len(hits) > 0 {
+		s.qHit.Inc()
+	}
+
+	resp := searchclient.QueryResponse{
+		Origin:        int(node.ID()),
+		Hits:          make([]searchclient.Hit, len(hits)),
+		ElapsedMillis: float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for i, h := range hits {
+		resp.Hits[i] = searchclient.Hit{
+			Holder: int(h.Holder), Hops: h.Hops, Class: h.Class.String(),
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	info := searchclient.ClusterInfo{
+		Self:  s.cfg.Name,
+		Epoch: s.g.Version(),
+		State: s.State().String(),
+	}
+	for _, m := range s.g.Members() {
+		info.Members = append(info.Members, searchclient.MemberInfo{
+			Name: m.Name, HTTP: m.HTTP, BaseID: m.BaseID, Nodes: m.Nodes,
+		})
+	}
+	for _, n := range s.nodes {
+		info.LocalNodes = append(info.LocalNodes, searchclient.NodeInfo{
+			ID: int(n.ID()), Degree: len(n.Neighbors()),
+		})
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	snap["node_queries_seen"] = s.nodeStats.QueriesSeen.Load()
+	snap["node_queries_forwarded"] = s.nodeStats.QueriesForwarded.Load()
+	snap["node_hits_served"] = s.nodeStats.HitsServed.Load()
+	snap["node_hits_received"] = s.nodeStats.HitsReceived.Load()
+	snap["node_inbox_dropped"] = s.nodeStats.InboxDropped.Load()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+func (s *Server) handlePause(w http.ResponseWriter, r *http.Request) {
+	if !s.state.CompareAndSwap(int32(StateReady), int32(StatePaused)) {
+		writeErr(w, http.StatusConflict, "not ready (state "+s.State().String()+")")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"state": s.State().String()})
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	if !s.state.CompareAndSwap(int32(StatePaused), int32(StateReady)) {
+		writeErr(w, http.StatusConflict, "not paused (state "+s.State().String()+")")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"state": s.State().String()})
+}
+
+func (s *Server) handleReconfig(w http.ResponseWriter, r *http.Request) {
+	for _, n := range s.nodes {
+		n.Reconfigure()
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"reconfigured": len(s.nodes)})
+}
+
+// handleGossip is the receiving half of push-pull anti-entropy: merge
+// the caller's view, answer with ours.
+func (s *Server) handleGossip(w http.ResponseWriter, r *http.Request) {
+	var remote View
+	if err := json.NewDecoder(r.Body).Decode(&remote); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad view: "+err.Error())
+		return
+	}
+	local := s.g.Exchange(remote)
+	s.syncTransport()
+	writeJSON(w, http.StatusOK, local)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"state": s.State().String()})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	st := s.State()
+	code := http.StatusOK
+	if st != StateReady {
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"state": st.String()})
+}
+
+// gossipLoop beats and exchanges views with the seed list plus a
+// random fanout of known peers every interval, then refreshes the
+// transport's address book from whatever it learned.
+func (s *Server) gossipLoop() {
+	defer close(s.gossipDone)
+	// Per-process stream: same cluster seed, different member names →
+	// different peer-sampling sequences.
+	h := fnv.New64a()
+	h.Write([]byte(s.cfg.Name))
+	stream := rng.New(s.cfg.Seed ^ h.Sum64())
+
+	tick := time.NewTicker(s.cfg.GossipInterval())
+	defer tick.Stop()
+	for {
+		s.gossipRound(stream)
+		select {
+		case <-s.gossipStop:
+			return
+		case <-tick.C:
+		}
+	}
+}
+
+func (s *Server) gossipRound(stream *rng.Stream) {
+	s.g.Beat()
+	self := s.g.Self()
+
+	targets := make(map[string]struct{})
+	for _, seed := range s.cfg.Join {
+		targets[seed] = struct{}{}
+	}
+	for _, m := range s.g.Targets(s.cfg.GossipFanout, stream.Intn) {
+		targets[m.HTTP] = struct{}{}
+	}
+	delete(targets, self.HTTP)
+
+	view := s.g.Snapshot()
+	body, err := json.Marshal(view)
+	if err != nil {
+		return
+	}
+	for addr := range targets {
+		resp, err := s.peerHC.Post(peerURL(addr)+"/v1/gossip",
+			"application/json", bytes.NewReader(body))
+		if err != nil {
+			continue // unreachable peers are retried next round
+		}
+		var remote View
+		err = json.NewDecoder(resp.Body).Decode(&remote)
+		resp.Body.Close()
+		if err == nil {
+			s.g.Absorb(remote)
+		}
+	}
+	s.gossipRounds.Inc()
+	s.syncTransport()
+}
+
+// syncTransport replays the gossip view's node listener addresses into
+// the TCP transport (SetAddr is idempotent for unchanged entries).
+func (s *Server) syncTransport() {
+	if s.tcpT == nil {
+		return
+	}
+	for _, m := range s.g.Members() {
+		for i, addr := range m.NodeAddrs {
+			s.tcpT.SetAddr(topology.NodeID(m.BaseID+i), addr)
+		}
+	}
+}
+
+func peerURL(addr string) string {
+	if strings.Contains(addr, "://") {
+		return strings.TrimSuffix(addr, "/")
+	}
+	return "http://" + addr
+}
+
+// classFor maps a config string to a bandwidth class.
+func classFor(name string) (netsim.BandwidthClass, error) {
+	switch strings.ToLower(name) {
+	case "56k", "modem":
+		return netsim.Modem56K, nil
+	case "cable":
+		return netsim.Cable, nil
+	case "lan":
+		return netsim.LAN, nil
+	default:
+		return 0, fmt.Errorf("daemon: unknown bandwidth class %q", name)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}

@@ -1,9 +1,11 @@
 package live
 
 import (
+	"net"
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/topology"
 )
@@ -324,4 +326,146 @@ func TestTCPTransportUnknownAddress(t *testing.T) {
 	if err := tr.Send(42, Envelope{}); err == nil {
 		t.Fatal("send to unknown address succeeded")
 	}
+}
+
+func TestQueryMaxHitsReturnsEarly(t *testing.T) {
+	nodes, _ := cluster(t, 4, 4, 1, 0)
+	for i := 1; i < 4; i++ {
+		link(nodes[0], nodes[i])
+		nodes[i].cfg.Store.(MapStore).Add(5)
+	}
+	start := time.Now()
+	hits := nodes[0].Query(QueryOpts{Key: 5, Timeout: 10 * time.Second, MaxHits: 1})
+	if len(hits) != 1 {
+		t.Fatalf("MaxHits 1 returned %d hits", len(hits))
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("early return took %v (timeout-bound, not hit-bound)", elapsed)
+	}
+}
+
+func TestQueryTTLOverride(t *testing.T) {
+	nodes, _ := cluster(t, 4, 4, 2, 0) // config TTL 2
+	link(nodes[0], nodes[1])
+	link(nodes[1], nodes[2])
+	link(nodes[2], nodes[3])
+	nodes[3].cfg.Store.(MapStore).Add(7)
+	if hits := nodes[0].Query(QueryOpts{Key: 7, Timeout: 200 * time.Millisecond}); len(hits) != 0 {
+		t.Fatalf("config TTL 2 reached a 3-hop holder: %+v", hits)
+	}
+	hits := nodes[0].Query(QueryOpts{Key: 7, TTL: 3, Timeout: 300 * time.Millisecond, MaxHits: 1})
+	if len(hits) != 1 || hits[0].Holder != 3 {
+		t.Fatalf("TTL override 3 missed the holder: %+v", hits)
+	}
+}
+
+func TestCloseDrainsQueuedEnvelopes(t *testing.T) {
+	// A stopped-Start node accumulates envelopes in its inbox; Close
+	// must process all of them before returning. The node serves key 5,
+	// so each drained query envelope produces a hit reply we can count.
+	tr := NewChanTransport()
+	stats := &NodeStats{}
+	served := NewNode(Config{ID: 1, Neighbors: 4, TTL: 2, Transport: tr,
+		Store: MapStore{5: {}}, Class: netsim.Cable, Stats: stats})
+	tr.Attach(served)
+	const queued = 500
+	for i := 0; i < queued; i++ {
+		served.Deliver(Envelope{Type: MsgQuery, From: 0, QueryID: core.QueryID(i + 1),
+			Key: 5, Origin: 0, TTL: 2, Hops: 1})
+	}
+	served.Start()
+	served.Close()
+	if got := stats.QueriesSeen.Load(); got != queued {
+		t.Fatalf("Close drained %d of %d queued queries", got, queued)
+	}
+	if got := stats.HitsServed.Load(); got != queued {
+		t.Fatalf("drained queries served %d of %d hits", got, queued)
+	}
+	// Idempotent, and Stop after Close is a no-op.
+	served.Close()
+	served.Stop()
+}
+
+func TestCloseThenDeliverDrops(t *testing.T) {
+	tr := NewChanTransport()
+	n := NewNode(Config{ID: 0, Neighbors: 4, TTL: 2, Transport: tr,
+		Store: MapStore{}, Class: netsim.Cable, Stats: &NodeStats{}})
+	n.Start()
+	n.Close()
+	// Must not block or panic after the loop has exited.
+	n.Deliver(Envelope{Type: MsgQuery, QueryID: 1, Key: 5, Origin: 0, TTL: 2, Hops: 1})
+}
+
+func TestTCPDialRetrySucceedsAfterPeerBoots(t *testing.T) {
+	// Reserve an address, close the listener (refused dials), then
+	// bring the real listener up while Send is inside its retry loop.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	tr := NewTCPTransport()
+	defer tr.Close()
+	tr.DialBackoff = 50 * time.Millisecond
+	tr.SetAddr(1, addr)
+
+	got := make(chan Envelope, 1)
+	go func() {
+		time.Sleep(80 * time.Millisecond) // inside attempt 2's backoff
+		_, stop, err := Listen(addr, func(env Envelope) { got <- env })
+		if err != nil {
+			t.Errorf("late listen: %v", err)
+			return
+		}
+		t.Cleanup(stop)
+	}()
+	if err := tr.Send(1, Envelope{Type: MsgQuery, QueryID: 9}); err != nil {
+		t.Fatalf("send with retry failed: %v", err)
+	}
+	select {
+	case env := <-got:
+		if env.QueryID != 9 {
+			t.Fatalf("delivered %+v", env)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("retried send never delivered")
+	}
+}
+
+func TestTCPDialCooldownFailsFast(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	tr := NewTCPTransport()
+	tr.MaxDialAttempts = 2
+	tr.DialBackoff = 5 * time.Millisecond
+	tr.DialCooldown = time.Hour
+	tr.SetAddr(1, addr)
+	if err := tr.Send(1, Envelope{}); err == nil {
+		t.Fatal("send to dead peer succeeded")
+	}
+	start := time.Now()
+	if err := tr.Send(1, Envelope{}); err == nil {
+		t.Fatal("cooldown send succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("cooldown send took %v (re-dialed instead of failing fast)", elapsed)
+	}
+	// A fresh address clears the cooldown.
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln2.Close()
+	tr.SetAddr(1, ln2.Addr().String())
+	if err := tr.Send(1, Envelope{}); err != nil {
+		t.Fatalf("send after address refresh failed: %v", err)
+	}
+	tr.Close()
 }

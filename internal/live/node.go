@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/netsim"
 	"repro/internal/stats"
 	"repro/internal/topology"
@@ -56,6 +57,24 @@ type Config struct {
 	// instance (random-<k>'s rng stream) must not be shared across
 	// nodes of one process; give each node its own.
 	Forward core.ForwardPolicy
+	// Stats, when non-nil, receives this node's event counters. One
+	// NodeStats is typically shared by every node of a process (the
+	// daemon's /v1/stats aggregates per-process, not per-node).
+	Stats *NodeStats
+}
+
+// NodeStats aggregates the transport-visible events of one or more
+// nodes as atomic counters, safe to read from any goroutine while the
+// nodes run (internal/daemon exposes them over HTTP).
+type NodeStats struct {
+	// QueriesSeen counts query envelopes processed after duplicate
+	// suppression; QueriesForwarded counts propagated copies.
+	QueriesSeen, QueriesForwarded metrics.Counter
+	// HitsServed counts local-store answers sent; HitsReceived counts
+	// hit replies delivered back to queries this process originated.
+	HitsServed, HitsReceived metrics.Counter
+	// InboxDropped counts envelopes lost to a saturated inbox.
+	InboxDropped metrics.Counter
 }
 
 // SearchHit is one result of a live search.
@@ -71,11 +90,15 @@ type SearchHit struct {
 // Node is one live repository: an actor goroutine owning all mutable
 // state (neighbor set, ledger, duplicate cache, pending searches).
 type Node struct {
-	cfg   Config
-	inbox chan Envelope
-	ctl   chan func(*state)
-	done  chan struct{}
-	wg    sync.WaitGroup
+	cfg     Config
+	inbox   chan Envelope
+	ctl     chan func(*state)
+	done    chan struct{}
+	closing chan struct{}
+	wg      sync.WaitGroup
+
+	stopOnce  sync.Once
+	closeOnce sync.Once
 
 	// searches maps pending query IDs to collectors; owned by the actor
 	// loop except for the buffered result channels.
@@ -104,10 +127,11 @@ func NewNode(cfg Config) *Node {
 		cfg.Forward = core.Flood{}
 	}
 	return &Node{
-		cfg:   cfg,
-		inbox: make(chan Envelope, 1024),
-		ctl:   make(chan func(*state), 64),
-		done:  make(chan struct{}),
+		cfg:     cfg,
+		inbox:   make(chan Envelope, 1024),
+		ctl:     make(chan func(*state), 64),
+		done:    make(chan struct{}),
+		closing: make(chan struct{}),
 	}
 }
 
@@ -125,6 +149,9 @@ func (n *Node) Deliver(env Envelope) {
 	case n.inbox <- env:
 	case <-n.done:
 	default:
+		if n.cfg.Stats != nil {
+			n.cfg.Stats.InboxDropped.Inc()
+		}
 	}
 }
 
@@ -134,10 +161,26 @@ func (n *Node) Start() {
 	go n.loop()
 }
 
-// Stop terminates the actor loop and waits for it.
+// Stop terminates the actor loop immediately and waits for it; queued
+// envelopes are abandoned. Use Close for a draining shutdown.
 func (n *Node) Stop() {
-	close(n.done)
+	n.markDone()
 	n.wg.Wait()
+}
+
+// Close drains the node before stopping: delivery of new envelopes
+// ceases, every envelope already queued in the inbox (and every queued
+// control function) is processed, and only then does the actor loop
+// exit. Close returns once the loop is fully gone; like Stop it is
+// idempotent, and Stop/Close may be combined in any order.
+func (n *Node) Close() {
+	n.closeOnce.Do(func() { close(n.closing) })
+	n.wg.Wait()
+}
+
+// markDone closes the done channel exactly once.
+func (n *Node) markDone() {
+	n.stopOnce.Do(func() { close(n.done) })
 }
 
 // loop is the actor: all state mutations happen here.
@@ -152,6 +195,20 @@ func (n *Node) loop() {
 		select {
 		case <-n.done:
 			return
+		case <-n.closing:
+			// Drain mode: consume whatever is already queued, then
+			// declare the node done so Deliver and do stop enqueueing.
+			for {
+				select {
+				case f := <-n.ctl:
+					f(st)
+				case env := <-n.inbox:
+					n.handle(st, env)
+				default:
+					n.markDone()
+					return
+				}
+			}
 		case f := <-n.ctl:
 			f(st)
 		case env := <-n.inbox:
@@ -214,10 +271,45 @@ func removeNeighbor(st *state, id topology.NodeID) bool {
 	return false
 }
 
+// QueryOpts parameterizes one originated search. The zero value of
+// every field defers to the node's configuration.
+type QueryOpts struct {
+	// Key is the content item requested.
+	Key core.Key
+	// TTL overrides Config.TTL for this query when positive.
+	TTL int
+	// Timeout is the hit-collection window. Required.
+	Timeout time.Duration
+	// MaxHits, when positive, ends collection early once that many
+	// hits arrived — a REST frontend answering "is it out there?"
+	// returns in a flood round-trip instead of a full window.
+	MaxHits int
+	// Forward overrides the origin hop's fan-out policy for this query
+	// only; forwarding nodes still apply their own configured policies
+	// (each hop is autonomous in the live protocol). Nil uses
+	// Config.Forward.
+	Forward core.ForwardPolicy
+}
+
 // Search floods a query and collects hits until timeout. It implements
 // Send_Query of Algo 5: statistics update with benefit B/R over the
 // collected results, then a reconfiguration check.
 func (n *Node) Search(key core.Key, timeout time.Duration) []SearchHit {
+	return n.Query(QueryOpts{Key: key, Timeout: timeout})
+}
+
+// Query originates one search with explicit options (see QueryOpts);
+// Search is the common-case wrapper. Any number of goroutines may
+// originate queries on one node concurrently.
+func (n *Node) Query(opts QueryOpts) []SearchHit {
+	ttl := opts.TTL
+	if ttl <= 0 {
+		ttl = n.cfg.TTL
+	}
+	forward := opts.Forward
+	if forward == nil {
+		forward = n.cfg.Forward
+	}
 	results := make(chan SearchHit, 256)
 	var qid core.QueryID
 	n.do(func(st *state) {
@@ -225,17 +317,17 @@ func (n *Node) Search(key core.Key, timeout time.Duration) []SearchHit {
 		qid = core.QueryID(uint64(n.cfg.ID)<<32) | n.nextQID
 		st.pending[qid] = results
 		markSeen(st, qid) // our own query must not be re-processed
-		q := core.Query{ID: qid, Key: key, Origin: n.cfg.ID, TTL: n.cfg.TTL}
-		for _, nb := range n.cfg.Forward.Select(&q, n.cfg.ID, topology.None, st.neighbors, st.ledger, nil) {
+		q := core.Query{ID: qid, Key: opts.Key, Origin: n.cfg.ID, TTL: ttl}
+		for _, nb := range forward.Select(&q, n.cfg.ID, topology.None, st.neighbors, st.ledger, nil) {
 			n.send(nb, Envelope{
 				Type: MsgQuery, From: n.cfg.ID,
-				QueryID: qid, Key: key, Origin: n.cfg.ID,
-				TTL: n.cfg.TTL, Hops: 1,
+				QueryID: qid, Key: opts.Key, Origin: n.cfg.ID,
+				TTL: ttl, Hops: 1,
 			})
 		}
 	})
 
-	deadline := time.NewTimer(timeout)
+	deadline := time.NewTimer(opts.Timeout)
 	defer deadline.Stop()
 	var hits []SearchHit
 collect:
@@ -243,6 +335,9 @@ collect:
 		select {
 		case h := <-results:
 			hits = append(hits, h)
+			if opts.MaxHits > 0 && len(hits) >= opts.MaxHits {
+				break collect
+			}
 		case <-deadline.C:
 			break collect
 		case <-n.done:
@@ -318,7 +413,13 @@ func (n *Node) handle(st *state, env Envelope) {
 			return
 		}
 		markSeen(st, env.QueryID)
+		if n.cfg.Stats != nil {
+			n.cfg.Stats.QueriesSeen.Inc()
+		}
 		if n.cfg.Store.Has(env.Key) {
+			if n.cfg.Stats != nil {
+				n.cfg.Stats.HitsServed.Inc()
+			}
 			n.send(env.Origin, Envelope{
 				Type: MsgHit, From: n.cfg.ID,
 				QueryID: env.QueryID, Key: env.Key,
@@ -332,13 +433,20 @@ func (n *Node) handle(st *state, env Envelope) {
 		// The forward policy picks the propagation targets; Flood keeps
 		// the baseline everyone-but-sender-and-origin semantics.
 		q := core.Query{ID: env.QueryID, Key: env.Key, Origin: env.Origin, TTL: env.TTL}
-		for _, nb := range n.cfg.Forward.Select(&q, n.cfg.ID, env.From, st.neighbors, st.ledger, nil) {
+		targets := n.cfg.Forward.Select(&q, n.cfg.ID, env.From, st.neighbors, st.ledger, nil)
+		if n.cfg.Stats != nil {
+			n.cfg.Stats.QueriesForwarded.Add(uint64(len(targets)))
+		}
+		for _, nb := range targets {
 			fwd := env
 			fwd.From = n.cfg.ID
 			fwd.Hops++
 			n.send(nb, fwd)
 		}
 	case MsgHit:
+		if n.cfg.Stats != nil {
+			n.cfg.Stats.HitsReceived.Inc()
+		}
 		if ch, ok := st.pending[env.QueryID]; ok {
 			select {
 			case ch <- SearchHit{Holder: env.From, Hops: env.Hops, Class: env.Class}:

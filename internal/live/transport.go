@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/netsim"
@@ -137,57 +138,128 @@ func (t *ChanTransport) Send(to topology.NodeID, env Envelope) error {
 
 // TCPTransport sends envelopes over TCP connections with gob encoding.
 // Every process registers its peers' listen addresses; connections are
-// pooled per destination.
+// pooled per destination, and each destination carries its own lock so
+// a slow or dead peer never blocks sends to healthy ones.
+//
+// Dial failures are non-fatal: Send retries a bounded number of times
+// with exponential backoff (a peer that is still booting becomes
+// reachable mid-bootstrap instead of losing the message), and after
+// the final failure the destination enters a cooldown during which
+// sends fail fast — the lossy-network semantics the protocol already
+// tolerates, without a dial storm against a dead peer.
 type TCPTransport struct {
+	// MaxDialAttempts bounds connection attempts per Send (default 4).
+	MaxDialAttempts int
+	// DialBackoff is the first retry delay; it doubles per attempt
+	// (default 25ms).
+	DialBackoff time.Duration
+	// DialCooldown is how long a destination fails fast after
+	// MaxDialAttempts consecutive dial failures (default 250ms).
+	DialCooldown time.Duration
+
 	mu    sync.Mutex
-	addrs map[topology.NodeID]string
-	conns map[topology.NodeID]*tcpConn
+	dests map[topology.NodeID]*tcpDest
 }
 
-type tcpConn struct {
-	c   net.Conn
-	enc *gob.Encoder
+type tcpDest struct {
+	mu        sync.Mutex
+	addr      string
+	c         net.Conn
+	enc       *gob.Encoder
+	downUntil time.Time
 }
 
-// NewTCPTransport returns a transport with no known peers.
+// NewTCPTransport returns a transport with no known peers and default
+// retry parameters.
 func NewTCPTransport() *TCPTransport {
 	return &TCPTransport{
-		addrs: make(map[topology.NodeID]string),
-		conns: make(map[topology.NodeID]*tcpConn),
+		MaxDialAttempts: 4,
+		DialBackoff:     25 * time.Millisecond,
+		DialCooldown:    250 * time.Millisecond,
+		dests:           make(map[topology.NodeID]*tcpDest),
 	}
 }
 
-// SetAddr registers the listen address of a peer.
+// SetAddr registers the listen address of a peer. Re-registering the
+// same address is a no-op (gossip refreshes are idempotent); a changed
+// address closes the pooled connection so the next Send re-dials.
 func (t *TCPTransport) SetAddr(id topology.NodeID, addr string) {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.addrs[id] = addr
-	if c, ok := t.conns[id]; ok {
-		c.c.Close()
-		delete(t.conns, id)
+	d, ok := t.dests[id]
+	if !ok {
+		t.dests[id] = &tcpDest{addr: addr}
+		t.mu.Unlock()
+		return
 	}
+	t.mu.Unlock()
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.addr == addr {
+		return
+	}
+	d.addr = addr
+	d.downUntil = time.Time{}
+	if d.c != nil {
+		d.c.Close()
+		d.c, d.enc = nil, nil
+	}
+}
+
+// Addrs returns a snapshot of the registered peer address book.
+func (t *TCPTransport) Addrs() map[topology.NodeID]string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[topology.NodeID]string, len(t.dests))
+	for id, d := range t.dests {
+		d.mu.Lock()
+		out[id] = d.addr
+		d.mu.Unlock()
+	}
+	return out
 }
 
 // Send implements Transport.
 func (t *TCPTransport) Send(to topology.NodeID, env Envelope) error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	conn, ok := t.conns[to]
+	d, ok := t.dests[to]
+	t.mu.Unlock()
 	if !ok {
-		addr, known := t.addrs[to]
-		if !known {
-			return fmt.Errorf("live: no address for node %d", to)
+		return fmt.Errorf("live: no address for node %d", to)
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.c == nil {
+		if until := d.downUntil; !until.IsZero() && time.Now().Before(until) {
+			return fmt.Errorf("live: node %d unreachable (cooldown)", to)
 		}
-		c, err := net.Dial("tcp", addr)
-		if err != nil {
+		attempts := t.MaxDialAttempts
+		if attempts < 1 {
+			attempts = 1
+		}
+		backoff := t.DialBackoff
+		var err error
+		for i := 0; i < attempts; i++ {
+			if i > 0 {
+				time.Sleep(backoff)
+				backoff *= 2
+			}
+			var c net.Conn
+			if c, err = net.Dial("tcp", d.addr); err == nil {
+				d.c, d.enc = c, gob.NewEncoder(c)
+				d.downUntil = time.Time{}
+				break
+			}
+		}
+		if d.c == nil {
+			d.downUntil = time.Now().Add(t.DialCooldown)
 			return fmt.Errorf("live: dial node %d: %w", to, err)
 		}
-		conn = &tcpConn{c: c, enc: gob.NewEncoder(c)}
-		t.conns[to] = conn
 	}
-	if err := conn.enc.Encode(env); err != nil {
-		conn.c.Close()
-		delete(t.conns, to)
+	if err := d.enc.Encode(env); err != nil {
+		d.c.Close()
+		d.c, d.enc = nil, nil
 		return fmt.Errorf("live: send to node %d: %w", to, err)
 	}
 	return nil
@@ -197,9 +269,13 @@ func (t *TCPTransport) Send(to topology.NodeID, env Envelope) error {
 func (t *TCPTransport) Close() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	for id, c := range t.conns {
-		c.c.Close()
-		delete(t.conns, id)
+	for _, d := range t.dests {
+		d.mu.Lock()
+		if d.c != nil {
+			d.c.Close()
+			d.c, d.enc = nil, nil
+		}
+		d.mu.Unlock()
 	}
 }
 
@@ -235,6 +311,9 @@ func Listen(addr string, deliver func(Envelope)) (string, func(), error) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
+		// Transient Accept errors (EMFILE, aborted handshakes) back off
+		// geometrically instead of spinning hot; any success resets.
+		backoff := time.Duration(0)
 		for {
 			conn, err := ln.Accept()
 			if err != nil {
@@ -242,9 +321,16 @@ func Listen(addr string, deliver func(Envelope)) (string, func(), error) {
 				case <-done:
 					return
 				default:
-					continue
 				}
+				if backoff == 0 {
+					backoff = 5 * time.Millisecond
+				} else if backoff < 100*time.Millisecond {
+					backoff *= 2
+				}
+				time.Sleep(backoff)
+				continue
 			}
+			backoff = 0
 			if !track(conn) {
 				conn.Close()
 				return

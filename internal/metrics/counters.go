@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value
+// is ready to use; all methods are safe for concurrent callers, so one
+// Counter can be shared by every node goroutine of a live process and
+// read by an HTTP exposition handler without coordination.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds d.
+func (c *Counter) Add(d uint64) { c.v.Add(d) }
+
+// Load returns the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Registry is a named set of counters with a JSON HTTP exposition —
+// the measurement surface a long-running daemon serves on /v1/stats.
+// Counters are created on first use and live for the registry's
+// lifetime; Counter is safe to call from any goroutine.
+type Registry struct {
+	mu sync.Mutex
+	m  map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{m: make(map[string]*Counter)}
+}
+
+// Counter returns the counter registered under name, creating it at
+// zero on first use. The returned pointer is stable: hot paths resolve
+// once and Inc through the pointer.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.m[name]
+	if !ok {
+		c = &Counter{}
+		r.m[name] = c
+	}
+	return c
+}
+
+// Snapshot returns the current value of every registered counter.
+func (r *Registry) Snapshot() map[string]uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]uint64, len(r.m))
+	for name, c := range r.m {
+		out[name] = c.Load()
+	}
+	return out
+}
+
+// ServeHTTP implements http.Handler: the snapshot as a JSON object
+// with sorted keys (encoding/json sorts map keys), one counter per
+// field.
+func (r *Registry) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,59 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrentAdds(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+			c.Add(10)
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 8*1010 {
+		t.Fatalf("counter = %d, want %d", got, 8*1010)
+	}
+}
+
+func TestRegistryStablePointers(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("queries")
+	b := r.Counter("queries")
+	if a != b {
+		t.Fatal("same name resolved to different counters")
+	}
+	a.Add(3)
+	snap := r.Snapshot()
+	if snap["queries"] != 3 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+}
+
+func TestRegistryHTTPExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Add(7)
+	r.Counter("queries").Add(9)
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/v1/stats", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var got map[string]uint64
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatalf("bad JSON body %q: %v", rec.Body.String(), err)
+	}
+	if got["hits"] != 7 || got["queries"] != 9 {
+		t.Fatalf("exposed %v", got)
+	}
+}

@@ -1,0 +1,260 @@
+// Package searchclient is the thin HTTP/JSON client for a running
+// dsearchd cluster daemon — the public companion to pkg/search: where
+// search is the in-process engine API, searchclient talks to the
+// long-running service (cmd/dsearchd) that owns engine lifecycle,
+// membership and serving.
+//
+// The client is deliberately thin: one struct, one method per
+// endpoint, no retries, no connection management beyond net/http's.
+// The types in this package are the wire contract — the daemon
+// marshals exactly these structs, so any other consumer (curl, a
+// dashboard) can rely on the same JSON shapes.
+//
+//	c := searchclient.New("127.0.0.1:7080")
+//	resp, err := c.Query(ctx, searchclient.QueryRequest{Key: 42})
+//	if err == nil && resp.Found() { ... }
+package searchclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client talks to one dsearchd process. Methods are safe for
+// concurrent use (the underlying http.Client is).
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the http.Client (custom timeouts,
+// transports, test doubles).
+func WithHTTPClient(hc *http.Client) Option {
+	return func(c *Client) { c.hc = hc }
+}
+
+// New returns a client for the daemon at addr ("host:port" or a full
+// "http://..." base URL).
+func New(addr string, opts ...Option) *Client {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	c := &Client{
+		base: strings.TrimSuffix(base, "/"),
+		hc:   &http.Client{Timeout: 30 * time.Second},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// QueryRequest is the body of POST /v1/query. Zero-valued fields
+// defer to the daemon's configuration.
+type QueryRequest struct {
+	// Key is the content item searched for.
+	Key uint64 `json:"key"`
+	// TTL overrides the daemon's search depth when positive.
+	TTL int `json:"ttl,omitempty"`
+	// Policy names a pkg/search registry policy applied at the origin
+	// hop of this query only; forwarding nodes keep their configured
+	// policies (each live hop is autonomous). Empty uses the daemon's.
+	Policy string `json:"policy,omitempty"`
+	// Origin pins the originating node ID; nil lets the daemon pick a
+	// local node round-robin. The node must be hosted by the daemon
+	// receiving the request.
+	Origin *int `json:"origin,omitempty"`
+	// TimeoutMillis bounds the hit-collection window; 0 uses the
+	// daemon's default window.
+	TimeoutMillis int `json:"timeout_ms,omitempty"`
+	// MaxHits ends collection early after that many hits (1 turns the
+	// query into an existence probe that returns in a flood
+	// round-trip); 0 collects for the full window.
+	MaxHits int `json:"max_hits,omitempty"`
+}
+
+// Hit is one positive answer of a query.
+type Hit struct {
+	// Holder is the answering node; Hops the forward distance the
+	// query traveled; Class the answering link's advertised bandwidth
+	// class ("56K", "cable", "LAN").
+	Holder int    `json:"holder"`
+	Hops   int    `json:"hops"`
+	Class  string `json:"class"`
+}
+
+// QueryResponse is the body answering POST /v1/query.
+type QueryResponse struct {
+	// Origin is the node that originated the search.
+	Origin int `json:"origin"`
+	// Hits lists the collected answers in arrival order.
+	Hits []Hit `json:"hits"`
+	// ElapsedMillis is the server-side collection time.
+	ElapsedMillis float64 `json:"elapsed_ms"`
+}
+
+// Found reports whether the query produced at least one hit.
+func (r *QueryResponse) Found() bool { return len(r.Hits) > 0 }
+
+// MemberInfo describes one cluster member in GET /v1/cluster.
+type MemberInfo struct {
+	Name   string `json:"name"`
+	HTTP   string `json:"http"`
+	BaseID int    `json:"base_id"`
+	Nodes  int    `json:"nodes"`
+}
+
+// NodeInfo describes one locally hosted node.
+type NodeInfo struct {
+	ID     int `json:"id"`
+	Degree int `json:"degree"`
+}
+
+// ClusterInfo is the body of GET /v1/cluster.
+type ClusterInfo struct {
+	// Self names the answering member; Epoch is its membership-view
+	// version (monotone per process — it bumps on every view change).
+	Self  string `json:"self"`
+	Epoch uint64 `json:"epoch"`
+	// State is the lifecycle state: "starting", "ready", "paused",
+	// "draining" or "stopped".
+	State string `json:"state"`
+	// Members is the full membership view, sorted by name.
+	Members []MemberInfo `json:"members"`
+	// LocalNodes lists the answering member's nodes with their current
+	// neighbor degrees.
+	LocalNodes []NodeInfo `json:"local_nodes"`
+}
+
+// Stats is the body of GET /v1/stats: counter name to value.
+type Stats map[string]uint64
+
+// Error is a non-2xx daemon response.
+type Error struct {
+	// Status is the HTTP status code; Message the daemon's error text.
+	Status  int
+	Message string
+}
+
+// Error implements error.
+func (e *Error) Error() string {
+	return fmt.Sprintf("searchclient: %d %s", e.Status, e.Message)
+}
+
+// Query runs one search through the daemon.
+func (c *Client) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	var resp QueryResponse
+	if err := c.post(ctx, "/v1/query", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Cluster fetches the membership view.
+func (c *Client) Cluster(ctx context.Context) (*ClusterInfo, error) {
+	var info ClusterInfo
+	if err := c.get(ctx, "/v1/cluster", &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Stats fetches the counter snapshot.
+func (c *Client) Stats(ctx context.Context) (Stats, error) {
+	var s Stats
+	if err := c.get(ctx, "/v1/stats", &s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Pause stops query admission (in-flight queries finish; new ones are
+// rejected until Resume).
+func (c *Client) Pause(ctx context.Context) error {
+	return c.post(ctx, "/v1/control/pause", nil, nil)
+}
+
+// Resume re-opens query admission after Pause.
+func (c *Client) Resume(ctx context.Context) error {
+	return c.post(ctx, "/v1/control/resume", nil, nil)
+}
+
+// Reconfig triggers one Algo 5 neighborhood reconfiguration on every
+// node the daemon hosts.
+func (c *Client) Reconfig(ctx context.Context) error {
+	return c.post(ctx, "/v1/control/reconfig", nil, nil)
+}
+
+// Ready reports nil when the daemon admits queries (GET /v1/readyz).
+func (c *Client) Ready(ctx context.Context) error {
+	return c.get(ctx, "/v1/readyz", nil)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	return c.do(req, out)
+}
+
+// errBody is the daemon's error envelope: {"error": "..."}.
+type errBody struct {
+	Error string `json:"error"`
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var eb errBody
+		msg := strings.TrimSpace(string(data))
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return &Error{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("searchclient: decode %s response: %w", req.URL.Path, err)
+	}
+	return nil
+}

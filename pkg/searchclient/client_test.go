@@ -1,0 +1,87 @@
+package searchclient
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestQueryRoundTrip(t *testing.T) {
+	var gotPath string
+	var gotReq QueryRequest
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotPath = r.URL.Path
+		if err := json.NewDecoder(r.Body).Decode(&gotReq); err != nil {
+			t.Errorf("decode request: %v", err)
+		}
+		json.NewEncoder(w).Encode(QueryResponse{
+			Origin: 3,
+			Hits:   []Hit{{Holder: 9, Hops: 2, Class: "LAN"}},
+		})
+	}))
+	defer ts.Close()
+
+	origin := 3
+	resp, err := New(ts.URL).Query(context.Background(), QueryRequest{
+		Key: 42, TTL: 3, Origin: &origin, MaxHits: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPath != "/v1/query" {
+		t.Fatalf("posted to %s, want /v1/query", gotPath)
+	}
+	if gotReq.Key != 42 || gotReq.TTL != 3 || gotReq.Origin == nil || *gotReq.Origin != 3 {
+		t.Fatalf("request did not round-trip: %+v", gotReq)
+	}
+	if !resp.Found() || resp.Hits[0].Holder != 9 || resp.Hits[0].Class != "LAN" {
+		t.Fatalf("response did not round-trip: %+v", resp)
+	}
+}
+
+func TestErrorEnvelope(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]string{"error": "origin 77 not hosted here"})
+	}))
+	defer ts.Close()
+
+	_, err := New(ts.URL).Query(context.Background(), QueryRequest{Key: 1})
+	var se *Error
+	if !asErr(err, &se) {
+		t.Fatalf("got %T (%v), want *Error", err, err)
+	}
+	if se.Status != http.StatusBadRequest || !strings.Contains(se.Message, "not hosted") {
+		t.Fatalf("error envelope not decoded: %+v", se)
+	}
+
+	// Non-JSON error bodies degrade to the raw text.
+	ts2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "plain failure", http.StatusInternalServerError)
+	}))
+	defer ts2.Close()
+	err = New(ts2.URL).Ready(context.Background())
+	if !asErr(err, &se) || se.Message != "plain failure" {
+		t.Fatalf("plain error body not surfaced: %v", err)
+	}
+}
+
+func TestAddrNormalization(t *testing.T) {
+	if got := New("127.0.0.1:7080").base; got != "http://127.0.0.1:7080" {
+		t.Fatalf("host:port base = %q", got)
+	}
+	if got := New("http://x:1/").base; got != "http://x:1" {
+		t.Fatalf("url base = %q", got)
+	}
+}
+
+func asErr(err error, target **Error) bool {
+	se, ok := err.(*Error)
+	if ok {
+		*target = se
+	}
+	return ok
+}
