@@ -14,6 +14,12 @@
 //	dsearchd -transport tcp -total 12 -nodes 4 -base 4 -join 127.0.0.1:7080
 //	dsearchd -transport tcp -total 12 -nodes 4 -base 8 -join 127.0.0.1:7080
 //
+// Deterministic chaos on a live cluster — seeded per-link message
+// faults at boot, crash/restart via the control plane at runtime:
+//
+//	dsearchd -nodes 50 -seed 42 -fault-drop 0.10 -fault-delay-max 20
+//	curl -d '{"node":3}' http://127.0.0.1:7080/v1/control/crash
+//
 // A JSON config file (-config, same field names as the flags' JSON
 // tags) seeds the configuration; explicitly set flags override it.
 // SIGINT/SIGTERM trigger a graceful drain: admission stops, in-flight
@@ -58,6 +64,17 @@ func main() {
 		gossipF = flag.Int("gossip-fanout", 2, "peers contacted per gossip round")
 		window  = flag.Int("query-window", 100, "default hit-collection window (ms)")
 		drainT  = flag.Int("drain-timeout", 10_000, "graceful drain bound (ms)")
+
+		fdSuspect = flag.Int("fd-suspect-rounds", 3, "gossip rounds without a heartbeat before suspecting a member")
+		fdEvict   = flag.Int("fd-evict-rounds", 6, "gossip rounds without a heartbeat before evicting a member")
+		fdAmnesty = flag.Int("fd-amnesty-rounds", 12, "gossip rounds an eviction tombstone blocks rejoin")
+
+		faultSeed     = flag.Uint64("fault-seed", 0, "fault decision-stream seed (0 = derive from -seed)")
+		faultDrop     = flag.Float64("fault-drop", 0, "per-message drop probability [0,1)")
+		faultDup      = flag.Float64("fault-dup", 0, "per-message duplication probability [0,1)")
+		faultReorder  = flag.Float64("fault-reorder", 0, "per-message reorder probability [0,1)")
+		faultDelayMin = flag.Int("fault-delay-min", 0, "injected per-message delay lower bound (ms)")
+		faultDelayMax = flag.Int("fault-delay-max", 0, "injected per-message delay upper bound (ms)")
 	)
 	flag.Parse()
 
@@ -135,6 +152,33 @@ func main() {
 	}
 	if cfg.DrainTimeoutMillis == 0 || set["drain-timeout"] {
 		cfg.DrainTimeoutMillis = *drainT
+	}
+	if cfg.FDSuspectRounds == 0 || set["fd-suspect-rounds"] {
+		cfg.FDSuspectRounds = *fdSuspect
+	}
+	if cfg.FDEvictRounds == 0 || set["fd-evict-rounds"] {
+		cfg.FDEvictRounds = *fdEvict
+	}
+	if cfg.FDAmnestyRounds == 0 || set["fd-amnesty-rounds"] {
+		cfg.FDAmnestyRounds = *fdAmnesty
+	}
+	if cfg.Faults.Seed == 0 || set["fault-seed"] {
+		cfg.Faults.Seed = *faultSeed
+	}
+	if cfg.Faults.Drop == 0 || set["fault-drop"] {
+		cfg.Faults.Drop = *faultDrop
+	}
+	if cfg.Faults.Dup == 0 || set["fault-dup"] {
+		cfg.Faults.Dup = *faultDup
+	}
+	if cfg.Faults.Reorder == 0 || set["fault-reorder"] {
+		cfg.Faults.Reorder = *faultReorder
+	}
+	if cfg.Faults.DelayMinMillis == 0 || set["fault-delay-min"] {
+		cfg.Faults.DelayMinMillis = *faultDelayMin
+	}
+	if cfg.Faults.DelayMaxMillis == 0 || set["fault-delay-max"] {
+		cfg.Faults.DelayMaxMillis = *faultDelayMax
 	}
 
 	srv, err := daemon.New(cfg)

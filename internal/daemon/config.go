@@ -69,6 +69,41 @@ type Config struct {
 	// DrainTimeoutMillis bounds how long Drain waits for in-flight
 	// queries before giving up on them.
 	DrainTimeoutMillis int `json:"drain_timeout_ms"`
+
+	// FDSuspectRounds/FDEvictRounds/FDAmnestyRounds tune the heartbeat
+	// failure detector, in gossip rounds: a member is suspected after
+	// FDSuspectRounds without a heartbeat advance, evicted after
+	// FDEvictRounds, and its eviction tombstone expires after
+	// FDAmnestyRounds (so a restarted member can rejoin). Defaults
+	// 3/6/12.
+	FDSuspectRounds int `json:"fd_suspect_rounds"`
+	FDEvictRounds   int `json:"fd_evict_rounds"`
+	FDAmnestyRounds int `json:"fd_amnesty_rounds"`
+
+	// Faults configures deterministic message-fault injection on this
+	// process's transport (all zero: no injection). Crash/partition
+	// control is always available regardless.
+	Faults FaultsConfig `json:"faults"`
+}
+
+// FaultsConfig is the config-file face of faults.Config: per-message
+// fault rates for the process's transport plane.
+type FaultsConfig struct {
+	// Seed roots the per-link decision streams; 0 derives one from the
+	// cluster seed so all processes of a seeded cluster agree.
+	Seed uint64 `json:"seed"`
+	// Drop, Dup and Reorder are per-message probabilities in [0,1).
+	Drop    float64 `json:"drop"`
+	Dup     float64 `json:"dup"`
+	Reorder float64 `json:"reorder"`
+	// DelayMinMillis/DelayMaxMillis add uniform per-message latency.
+	DelayMinMillis int `json:"delay_min_ms"`
+	DelayMaxMillis int `json:"delay_max_ms"`
+}
+
+// Enabled reports whether any message fault can fire.
+func (f FaultsConfig) Enabled() bool {
+	return f.Drop > 0 || f.Dup > 0 || f.Reorder > 0 || f.DelayMaxMillis > 0
 }
 
 // ApplyDefaults fills unset optional fields in place.
@@ -121,6 +156,18 @@ func (c *Config) ApplyDefaults() {
 	if c.DrainTimeoutMillis == 0 {
 		c.DrainTimeoutMillis = 10_000
 	}
+	if c.FDSuspectRounds == 0 {
+		c.FDSuspectRounds = 3
+	}
+	if c.FDEvictRounds == 0 {
+		c.FDEvictRounds = 6
+	}
+	if c.FDAmnestyRounds == 0 {
+		c.FDAmnestyRounds = 12
+	}
+	if c.Faults.Seed == 0 {
+		c.Faults.Seed = c.Seed ^ 0xfa017fa017fa017
+	}
 }
 
 // Validate reports configuration errors after defaulting.
@@ -140,9 +187,19 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("daemon: degree/ttl/keys/replicas must be positive")
 	case c.GossipFanout <= 0 || c.GossipIntervalMillis <= 0:
 		return fmt.Errorf("daemon: gossip fanout and interval must be positive")
+	case c.FDEvictRounds <= c.FDSuspectRounds:
+		return fmt.Errorf("daemon: fd_evict_rounds %d must exceed fd_suspect_rounds %d",
+			c.FDEvictRounds, c.FDSuspectRounds)
+	case badRate(c.Faults.Drop) || badRate(c.Faults.Dup) || badRate(c.Faults.Reorder):
+		return fmt.Errorf("daemon: fault rates must lie in [0,1)")
+	case c.Faults.DelayMaxMillis < c.Faults.DelayMinMillis:
+		return fmt.Errorf("daemon: fault delay max %dms < min %dms",
+			c.Faults.DelayMaxMillis, c.Faults.DelayMinMillis)
 	}
 	return nil
 }
+
+func badRate(r float64) bool { return r < 0 || r >= 1 }
 
 // GossipInterval, QueryWindow and DrainTimeout return the millisecond
 // fields as durations.

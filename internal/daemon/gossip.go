@@ -68,11 +68,21 @@ type Gossip struct {
 	self    string
 	view    View
 	version uint64
+	// fd is the heartbeat failure detector (detector.go): Tick drives
+	// its round clock, merges consult its eviction tombstones.
+	fd fdState
 }
 
-// NewGossip starts a membership view containing only self.
+// NewGossip starts a membership view containing only self, with the
+// default failure-detector thresholds (the detector stays inert until
+// something calls Tick).
 func NewGossip(self Member) *Gossip {
-	g := &Gossip{self: self.Name, view: View{self.Name: self}, version: 1}
+	g := &Gossip{
+		self:    self.Name,
+		view:    View{self.Name: self},
+		version: 1,
+		fd:      newFDState(DefaultDetection()),
+	}
 	return g
 }
 
@@ -112,7 +122,7 @@ func (g *Gossip) UpdateSelf(f func(*Member)) {
 func (g *Gossip) Exchange(remote View) View {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if g.view.Merge(remote) {
+	if g.view.Merge(g.filterTombstoned(remote)) {
 		g.version++
 	}
 	return g.view.Clone()

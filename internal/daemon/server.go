@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/live"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
@@ -82,6 +83,14 @@ type Server struct {
 	nodes []*live.Node
 	chanT *live.ChanTransport
 	tcpT  *live.TCPTransport
+	// faultT wraps whichever transport the nodes send through: the
+	// deterministic fault-injection plane plus crash/partition
+	// enforcement. Always present (zero rates make it a pass-through).
+	faultT *faults.Transport
+	// crashed[i] marks local node i fault-injected down: its transport
+	// traffic is blocked, TCP deliveries are discarded, and admission
+	// routes around it.
+	crashed []atomic.Bool
 	// stopListeners closes the per-node envelope listeners (TCP mode).
 	stopListeners []func()
 
@@ -105,8 +114,8 @@ type Server struct {
 	gossipDone chan struct{}
 	peerHC     *http.Client
 
-	qTotal, qHit, qRejected *metrics.Counter
-	gossipRounds            *metrics.Counter
+	qTotal, qHit, qRejected, qDegraded *metrics.Counter
+	gossipRounds                       *metrics.Counter
 
 	startOnce sync.Once
 	drainOnce sync.Once
@@ -139,18 +148,31 @@ func New(cfg Config) (*Server, error) {
 	s.qTotal = s.reg.Counter("daemon_queries_total")
 	s.qHit = s.reg.Counter("daemon_queries_hit_total")
 	s.qRejected = s.reg.Counter("daemon_queries_rejected_total")
+	s.qDegraded = s.reg.Counter("daemon_queries_degraded_total")
 	s.gossipRounds = s.reg.Counter("daemon_gossip_rounds_total")
 	s.state.Store(int32(StateStarting))
 
-	var transport live.Transport
+	var inner live.Transport
 	switch cfg.Transport {
 	case TransportChan:
 		s.chanT = live.NewChanTransport()
-		transport = s.chanT
+		inner = s.chanT
 	case TransportTCP:
 		s.tcpT = live.NewTCPTransport()
-		transport = s.tcpT
+		inner = s.tcpT
 	}
+	// Every node sends through the fault plane, even with zero rates:
+	// crash and partition control must work on a healthy configuration.
+	s.faultT = faults.Wrap(inner, faults.Config{
+		Seed:     cfg.Faults.Seed,
+		Drop:     cfg.Faults.Drop,
+		Dup:      cfg.Faults.Dup,
+		Reorder:  cfg.Faults.Reorder,
+		DelayMin: time.Duration(cfg.Faults.DelayMinMillis) * time.Millisecond,
+		DelayMax: time.Duration(cfg.Faults.DelayMaxMillis) * time.Millisecond,
+	})
+	transport := live.Transport(s.faultT)
+	s.crashed = make([]atomic.Bool, cfg.Nodes)
 
 	// Per-node forward policies: one instance each, because stochastic
 	// families carry an rng stream that must not be shared across
@@ -192,7 +214,17 @@ func New(cfg Config) (*Server, error) {
 	if s.tcpT != nil {
 		nodeAddrs = make([]string, len(s.nodes))
 		for i, n := range s.nodes {
-			addr, stop, err := live.Listen(cfg.NodeHost+":0", n.Deliver)
+			// The deliver gate enforces crashes on the receive side too:
+			// remote processes do not share this process's fault plane, so
+			// their envelopes to a crashed local node die at the listener.
+			node, idx := n, i
+			deliver := func(env live.Envelope) {
+				if s.crashed[idx].Load() {
+					return
+				}
+				node.Deliver(env)
+			}
+			addr, stop, err := live.Listen(cfg.NodeHost+":0", deliver)
 			if err != nil {
 				s.closeListeners()
 				return nil, fmt.Errorf("daemon: bind node %d listener: %w", n.ID(), err)
@@ -209,6 +241,11 @@ func New(cfg Config) (*Server, error) {
 		BaseID:    cfg.BaseID,
 		Nodes:     cfg.Nodes,
 		NodeAddrs: nodeAddrs,
+	})
+	s.g.SetDetection(Detection{
+		SuspectAfter: uint64(cfg.FDSuspectRounds),
+		EvictAfter:   uint64(cfg.FDEvictRounds),
+		Amnesty:      uint64(cfg.FDAmnestyRounds),
 	})
 
 	s.httpSrv = &http.Server{Handler: s.mux(), ReadHeaderTimeout: 5 * time.Second}
@@ -332,6 +369,91 @@ func (s *Server) localNode(id int) *live.Node {
 	return s.nodes[i]
 }
 
+// nodeCrashed reports whether local node id is fault-injected down.
+func (s *Server) nodeCrashed(id int) bool {
+	i := id - s.cfg.BaseID
+	return i >= 0 && i < len(s.crashed) && s.crashed[i].Load()
+}
+
+// anyCrashed reports whether any local node is currently down.
+func (s *Server) anyCrashed() bool {
+	for i := range s.crashed {
+		if s.crashed[i].Load() {
+			return true
+		}
+	}
+	return false
+}
+
+// pickLive round-robins over the local shard, skipping crashed nodes;
+// nil when every local node is down.
+func (s *Server) pickLive() *live.Node {
+	for range s.nodes {
+		n := s.nodes[s.nextOrigin.Add(1)%uint64(len(s.nodes))]
+		if !s.nodeCrashed(int(n.ID())) {
+			return n
+		}
+	}
+	return nil
+}
+
+// CrashNode fault-injects a locally hosted node down: its transport
+// traffic is blocked both ways, TCP deliveries are discarded, and
+// query admission routes around it until RestartNode. The node's
+// actor keeps running — a crash here is a network death, which is all
+// the protocol can observe anyway.
+func (s *Server) CrashNode(id int) error {
+	i := id - s.cfg.BaseID
+	if i < 0 || i >= len(s.nodes) {
+		return fmt.Errorf("daemon: node %d not hosted here (shard [%d,%d))",
+			id, s.cfg.BaseID, s.cfg.BaseID+s.cfg.Nodes)
+	}
+	s.crashed[i].Store(true)
+	s.faultT.Crash(topology.NodeID(id))
+	return nil
+}
+
+// RestartNode lifts a CrashNode.
+func (s *Server) RestartNode(id int) error {
+	i := id - s.cfg.BaseID
+	if i < 0 || i >= len(s.nodes) {
+		return fmt.Errorf("daemon: node %d not hosted here (shard [%d,%d))",
+			id, s.cfg.BaseID, s.cfg.BaseID+s.cfg.Nodes)
+	}
+	s.crashed[i].Store(false)
+	s.faultT.Restart(topology.NodeID(id))
+	return nil
+}
+
+// Crash, Restart, Partition and Heal make *Server a faults.Target, so
+// a faults.Schedule can play directly against an in-process cluster.
+func (s *Server) Crash(node int) error   { return s.CrashNode(node) }
+func (s *Server) Restart(node int) error { return s.RestartNode(node) }
+
+// Partition splits this process's transport into isolated groups
+// (node IDs); traffic across groups is blocked until Heal. In TCP
+// mode the cut applies to this process's outbound plane only.
+func (s *Server) Partition(groups [][]int) error {
+	conv := make([][]topology.NodeID, len(groups))
+	for i, g := range groups {
+		conv[i] = make([]topology.NodeID, len(g))
+		for j, id := range g {
+			conv[i][j] = topology.NodeID(id)
+		}
+	}
+	s.faultT.Partition(conv)
+	return nil
+}
+
+// Heal lifts a Partition.
+func (s *Server) Heal() error {
+	s.faultT.Heal()
+	return nil
+}
+
+// FaultStats exposes the fault plane's counters.
+func (s *Server) FaultStats() *faults.Stats { return s.faultT.Stats() }
+
 // mux builds the HTTP plane.
 func (s *Server) mux() *http.ServeMux {
 	m := http.NewServeMux()
@@ -341,6 +463,8 @@ func (s *Server) mux() *http.ServeMux {
 	m.HandleFunc("POST /v1/control/pause", s.handlePause)
 	m.HandleFunc("POST /v1/control/resume", s.handleResume)
 	m.HandleFunc("POST /v1/control/reconfig", s.handleReconfig)
+	m.HandleFunc("POST /v1/control/crash", s.handleCrash)
+	m.HandleFunc("POST /v1/control/restart", s.handleRestart)
 	m.HandleFunc("POST /v1/gossip", s.handleGossip)
 	m.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	m.HandleFunc("GET /v1/readyz", s.handleReadyz)
@@ -359,6 +483,11 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Origin selection routes around crashed nodes: a pinned-but-down
+	// origin degrades to a live substitute (the response says so), an
+	// unpinned query round-robins over live nodes only, and a fully
+	// crashed shard is a 503 the client may retry elsewhere.
+	var reasons []string
 	var node *live.Node
 	if req.Origin != nil {
 		if node = s.localNode(*req.Origin); node == nil {
@@ -367,8 +496,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 					*req.Origin, s.cfg.BaseID, s.cfg.BaseID+s.cfg.Nodes))
 			return
 		}
+		if s.nodeCrashed(*req.Origin) {
+			if node = s.pickLive(); node == nil {
+				s.qRejected.Inc()
+				writeUnavailable(w, "every local node is crashed")
+				return
+			}
+			reasons = append(reasons, searchclient.ReasonOriginCrashed)
+		}
 	} else {
-		node = s.nodes[s.nextOrigin.Add(1)%uint64(len(s.nodes))]
+		if node = s.pickLive(); node == nil {
+			s.qRejected.Inc()
+			writeUnavailable(w, "every local node is crashed")
+			return
+		}
 	}
 
 	// A per-request policy applies at the origin hop only: forwarding
@@ -392,32 +533,72 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
 	}
 
+	// The deadline is a hard budget for the whole request: the
+	// collection window is clamped under it, and a Cancel channel cuts
+	// the query off mid-collection if it is exhausted anyway — the
+	// client gets whatever arrived, flagged Degraded, instead of a
+	// timeout error with nothing.
+	cancel := r.Context().Done()
+	clamped := false
+	if req.DeadlineMillis > 0 {
+		budget := time.Duration(req.DeadlineMillis) * time.Millisecond
+		if timeout > budget {
+			timeout = budget
+			clamped = true // the budget already cut collection short
+		}
+		ctx, stop := context.WithTimeout(r.Context(), budget)
+		defer stop()
+		cancel = ctx.Done()
+	}
+
 	release, ok := s.admit()
 	if !ok {
 		s.qRejected.Inc()
-		writeErr(w, http.StatusServiceUnavailable,
-			"not admitting queries (state "+s.State().String()+")")
+		writeUnavailable(w, "not admitting queries (state "+s.State().String()+")")
 		return
 	}
 	defer release()
 
 	start := time.Now()
-	hits := node.Query(live.QueryOpts{
+	hits, info := node.QueryInfo(live.QueryOpts{
 		Key:     core.Key(req.Key),
 		TTL:     req.TTL,
 		Timeout: timeout,
 		MaxHits: req.MaxHits,
 		Forward: forward,
+		Cancel:  cancel,
 	})
 	s.qTotal.Inc()
 	if len(hits) > 0 {
 		s.qHit.Inc()
 	}
 
+	// Degradation verdict: anything that may have cost the response
+	// completeness is declared, so a caller can always distinguish "no
+	// replica holds this key" from "the cluster could not look
+	// everywhere".
+	if info.Stopped || clamped {
+		reasons = append(reasons, searchclient.ReasonDeadline)
+	}
+	if info.Fanout == 0 && len(hits) == 0 {
+		reasons = append(reasons, searchclient.ReasonNoFanout)
+	}
+	if len(s.g.Suspects()) > 0 {
+		reasons = append(reasons, searchclient.ReasonSuspects)
+	}
+	if s.anyCrashed() {
+		reasons = append(reasons, searchclient.ReasonCrashedNodes)
+	}
+	if len(reasons) > 0 {
+		s.qDegraded.Inc()
+	}
+
 	resp := searchclient.QueryResponse{
-		Origin:        int(node.ID()),
-		Hits:          make([]searchclient.Hit, len(hits)),
-		ElapsedMillis: float64(time.Since(start).Microseconds()) / 1000,
+		Origin:          int(node.ID()),
+		Hits:            make([]searchclient.Hit, len(hits)),
+		ElapsedMillis:   float64(time.Since(start).Microseconds()) / 1000,
+		Degraded:        len(reasons) > 0,
+		DegradedReasons: reasons,
 	}
 	for i, h := range hits {
 		resp.Hits[i] = searchclient.Hit{
@@ -427,20 +608,51 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleCrash and handleRestart are the fault-injection control plane:
+// POST {"node": N} marks a locally hosted node network-dead (crash) or
+// lifts it (restart). Remote node IDs are the caller's routing error.
+func (s *Server) handleCrash(w http.ResponseWriter, r *http.Request) {
+	s.handleNodeFault(w, r, s.CrashNode, "crashed")
+}
+
+func (s *Server) handleRestart(w http.ResponseWriter, r *http.Request) {
+	s.handleNodeFault(w, r, s.RestartNode, "restarted")
+}
+
+func (s *Server) handleNodeFault(w http.ResponseWriter, r *http.Request,
+	apply func(int) error, verb string) {
+	var req struct {
+		Node int `json:"node"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad body: "+err.Error())
+		return
+	}
+	if err := apply(req.Node); err != nil {
+		writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"node": req.Node, "state": verb})
+}
+
 func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	info := searchclient.ClusterInfo{
-		Self:  s.cfg.Name,
-		Epoch: s.g.Version(),
-		State: s.State().String(),
+		Self:     s.cfg.Name,
+		Epoch:    s.g.Version(),
+		State:    s.State().String(),
+		Suspects: s.g.Suspects(),
 	}
+	statuses := s.g.Statuses()
 	for _, m := range s.g.Members() {
 		info.Members = append(info.Members, searchclient.MemberInfo{
 			Name: m.Name, HTTP: m.HTTP, BaseID: m.BaseID, Nodes: m.Nodes,
+			Status: string(statuses[m.Name]),
 		})
 	}
 	for _, n := range s.nodes {
 		info.LocalNodes = append(info.LocalNodes, searchclient.NodeInfo{
 			ID: int(n.ID()), Degree: len(n.Neighbors()),
+			Crashed: s.nodeCrashed(int(n.ID())),
 		})
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -453,6 +665,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap["node_hits_served"] = s.nodeStats.HitsServed.Load()
 	snap["node_hits_received"] = s.nodeStats.HitsReceived.Load()
 	snap["node_inbox_dropped"] = s.nodeStats.InboxDropped.Load()
+	for k, v := range s.faultT.Stats().Snapshot() {
+		snap[k] = v
+	}
 	writeJSON(w, http.StatusOK, snap)
 }
 
@@ -560,6 +775,10 @@ func (s *Server) gossipRound(stream *rng.Stream) {
 		}
 	}
 	s.gossipRounds.Inc()
+	// One detector round per gossip round: members whose heartbeats
+	// stalled for the configured round counts get suspected, then
+	// evicted (with a rejoin tombstone).
+	s.g.Tick()
 	s.syncTransport()
 }
 
@@ -607,4 +826,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeErr(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// writeUnavailable is a 503 with a Retry-After hint, so well-behaved
+// clients (pkg/searchclient included) back off before retrying.
+func writeUnavailable(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", "1")
+	writeErr(w, http.StatusServiceUnavailable, msg)
 }

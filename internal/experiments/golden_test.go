@@ -19,9 +19,10 @@ import (
 // and any reordering of draws or same-time events shows up here
 // immediately.
 //
-// The skew and churnserve families postdate the capture, so they are
-// excluded; their determinism is covered by
-// TestSkewWorkerCountInvariance and TestChurnServeModesAgree.
+// The skew, churnserve and faults families postdate the capture, so
+// they are excluded; their determinism is covered by
+// TestSkewWorkerCountInvariance, TestChurnServeModesAgree and
+// TestFaultsWorkerCountInvariance.
 func TestGoldenCellsByteIdentity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full CI-scale registry run")
@@ -33,7 +34,7 @@ func TestGoldenCellsByteIdentity(t *testing.T) {
 
 	var cells []runner.Cell
 	for _, d := range Registry(CI, 1) {
-		if d.Name == "skew" || d.Name == "churnserve" {
+		if d.Name == "skew" || d.Name == "churnserve" || d.Name == "faults" {
 			continue
 		}
 		cells = append(cells, d.Cells...)

@@ -184,6 +184,7 @@ func Registry(scale Scale, seed uint64) []Definition {
 		},
 		skewDefinition(scale, seed),
 		churnServeDefinition(scale, seed),
+		faultsDefinition(scale, seed),
 	}
 }
 

@@ -9,7 +9,7 @@ import (
 
 func TestRegistryWellFormed(t *testing.T) {
 	defs := Registry(CI, 1)
-	if len(defs) != 16 {
+	if len(defs) != 17 {
 		t.Fatalf("registry has %d definitions", len(defs))
 	}
 	seenDef := map[string]bool{}
@@ -51,7 +51,7 @@ func TestRegistryWellFormed(t *testing.T) {
 			// at run time.
 			want := uint64(1)
 			switch d.Name {
-			case "scale", "skew":
+			case "scale", "skew", "faults":
 				want = runner.DeriveSeed(1, d.Name, c.Name)
 			case "churnserve":
 				_, size, ok := strings.Cut(c.Name, "-")

@@ -289,6 +289,24 @@ type QueryOpts struct {
 	// (each hop is autonomous in the live protocol). Nil uses
 	// Config.Forward.
 	Forward core.ForwardPolicy
+	// Cancel, when non-nil, ends hit collection early when it becomes
+	// receivable — the hook a serving frontend uses to enforce a total
+	// per-request deadline budget tighter than Timeout. Hits already
+	// collected are returned; QueryInfo.Stopped records the early end.
+	Cancel <-chan struct{}
+}
+
+// QueryInfo describes how a query's hit collection ended — the signal
+// a serving layer needs to mark a response as degraded rather than
+// silently partial.
+type QueryInfo struct {
+	// Fanout is how many first-hop copies the origin sent. Zero (with
+	// no local hit) means the query never left this node — an isolated
+	// or fully-partitioned origin.
+	Fanout int
+	// Stopped reports that collection ended early: Cancel fired or the
+	// node shut down before the window closed.
+	Stopped bool
 }
 
 // Search floods a query and collects hits until timeout. It implements
@@ -302,6 +320,13 @@ func (n *Node) Search(key core.Key, timeout time.Duration) []SearchHit {
 // Search is the common-case wrapper. Any number of goroutines may
 // originate queries on one node concurrently.
 func (n *Node) Query(opts QueryOpts) []SearchHit {
+	hits, _ := n.QueryInfo(opts)
+	return hits
+}
+
+// QueryInfo is Query plus an account of how collection ended (first-hop
+// fan-out, early stop) — see the QueryInfo type.
+func (n *Node) QueryInfo(opts QueryOpts) ([]SearchHit, QueryInfo) {
 	ttl := opts.TTL
 	if ttl <= 0 {
 		ttl = n.cfg.TTL
@@ -312,13 +337,16 @@ func (n *Node) Query(opts QueryOpts) []SearchHit {
 	}
 	results := make(chan SearchHit, 256)
 	var qid core.QueryID
+	var info QueryInfo
 	n.do(func(st *state) {
 		n.nextQID++
 		qid = core.QueryID(uint64(n.cfg.ID)<<32) | n.nextQID
 		st.pending[qid] = results
 		markSeen(st, qid) // our own query must not be re-processed
 		q := core.Query{ID: qid, Key: opts.Key, Origin: n.cfg.ID, TTL: ttl}
-		for _, nb := range forward.Select(&q, n.cfg.ID, topology.None, st.neighbors, st.ledger, nil) {
+		targets := forward.Select(&q, n.cfg.ID, topology.None, st.neighbors, st.ledger, nil)
+		info.Fanout = len(targets)
+		for _, nb := range targets {
 			n.send(nb, Envelope{
 				Type: MsgQuery, From: n.cfg.ID,
 				QueryID: qid, Key: opts.Key, Origin: n.cfg.ID,
@@ -340,7 +368,11 @@ collect:
 			}
 		case <-deadline.C:
 			break collect
+		case <-opts.Cancel:
+			info.Stopped = true
+			break collect
 		case <-n.done:
+			info.Stopped = true
 			break collect
 		}
 	}
@@ -361,7 +393,7 @@ collect:
 			n.reconfigureLocked(st)
 		}
 	})
-	return hits
+	return hits, info
 }
 
 // Reconfigure forces one Algo 5 reconfiguration immediately.

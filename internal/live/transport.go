@@ -150,8 +150,10 @@ func (t *ChanTransport) Send(to topology.NodeID, env Envelope) error {
 type TCPTransport struct {
 	// MaxDialAttempts bounds connection attempts per Send (default 4).
 	MaxDialAttempts int
-	// DialBackoff is the first retry delay; it doubles per attempt
-	// (default 25ms).
+	// DialBackoff is the base of the first retry delay; each attempt
+	// doubles it and the actual sleep is jittered uniformly over
+	// [base/2, base] so peers retrying the same dead destination never
+	// synchronize into a dial storm (default 25ms).
 	DialBackoff time.Duration
 	// DialCooldown is how long a destination fails fast after
 	// MaxDialAttempts consecutive dial failures (default 250ms).
@@ -159,6 +161,14 @@ type TCPTransport struct {
 
 	mu    sync.Mutex
 	dests map[topology.NodeID]*tcpDest
+	// closed is closed by Close; backoff sleeps select on it so a
+	// draining process is never pinned by a peer mid-retry.
+	closed    chan struct{}
+	closeOnce sync.Once
+	// jitterState seeds the backoff jitter stream (splitmix64 steps
+	// under mu; no dependency on the deterministic rng package — dial
+	// timing is wall-clock territory).
+	jitterState uint64
 }
 
 type tcpDest struct {
@@ -177,7 +187,22 @@ func NewTCPTransport() *TCPTransport {
 		DialBackoff:     25 * time.Millisecond,
 		DialCooldown:    250 * time.Millisecond,
 		dests:           make(map[topology.NodeID]*tcpDest),
+		closed:          make(chan struct{}),
+		jitterState:     uint64(time.Now().UnixNano()),
 	}
+}
+
+// jitter maps backoff to a uniform duration in [backoff/2, backoff].
+func (t *TCPTransport) jitter(backoff time.Duration) time.Duration {
+	t.mu.Lock()
+	t.jitterState += 0x9e3779b97f4a7c15
+	z := t.jitterState
+	t.mu.Unlock()
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	u := float64(z>>11) / (1 << 53)
+	return backoff/2 + time.Duration(u*float64(backoff/2))
 }
 
 // SetAddr registers the listen address of a peer. Re-registering the
@@ -242,8 +267,22 @@ func (t *TCPTransport) Send(to topology.NodeID, env Envelope) error {
 		var err error
 		for i := 0; i < attempts; i++ {
 			if i > 0 {
-				time.Sleep(backoff)
+				// Jittered, interruptible backoff: Close unblocks the sleep
+				// immediately so a draining process is not held hostage by a
+				// peer in retry.
+				timer := time.NewTimer(t.jitter(backoff))
+				select {
+				case <-t.closed:
+					timer.Stop()
+					return fmt.Errorf("live: transport closed while dialing node %d: %w", to, err)
+				case <-timer.C:
+				}
 				backoff *= 2
+			}
+			select {
+			case <-t.closed:
+				return fmt.Errorf("live: transport closed while dialing node %d", to)
+			default:
 			}
 			var c net.Conn
 			if c, err = net.Dial("tcp", d.addr); err == nil {
@@ -265,8 +304,10 @@ func (t *TCPTransport) Send(to topology.NodeID, env Envelope) error {
 	return nil
 }
 
-// Close shuts all pooled connections.
+// Close shuts all pooled connections and unblocks any Send waiting in
+// dial backoff; subsequent Sends fail fast.
 func (t *TCPTransport) Close() {
+	t.closeOnce.Do(func() { close(t.closed) })
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, d := range t.dests {

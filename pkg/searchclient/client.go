@@ -4,11 +4,20 @@
 // long-running service (cmd/dsearchd) that owns engine lifecycle,
 // membership and serving.
 //
-// The client is deliberately thin: one struct, one method per
-// endpoint, no retries, no connection management beyond net/http's.
 // The types in this package are the wire contract — the daemon
 // marshals exactly these structs, so any other consumer (curl, a
 // dashboard) can rely on the same JSON shapes.
+//
+// The client is resilient by default: transient failures (connection
+// errors, HTTP 503/429) retry a bounded number of times with jittered
+// exponential backoff, honoring both the request context's deadline
+// and any Retry-After the daemon sends, and a small circuit breaker
+// fails fast once an endpoint has been unreachable long enough that
+// retrying every caller is just load (any HTTP response, even an
+// error, keeps the circuit closed). Non-2xx responses surface as
+// *Error;
+// Error.Temporary distinguishes "back off and retry" (a draining or
+// paused daemon) from hard failures.
 //
 //	c := searchclient.New("127.0.0.1:7080")
 //	resp, err := c.Query(ctx, searchclient.QueryRequest{Key: 42})
@@ -19,18 +28,33 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 )
 
 // Client talks to one dsearchd process. Methods are safe for
-// concurrent use (the underlying http.Client is).
+// concurrent use (the underlying http.Client is; the retry and breaker
+// state carry their own locks).
 type Client struct {
 	base string
 	hc   *http.Client
+
+	// maxRetries is how many times a failed attempt is retried (so a
+	// call makes at most maxRetries+1 attempts); retryBase is the first
+	// backoff, doubled per retry and jittered to [x/2, x].
+	maxRetries int
+	retryBase  time.Duration
+
+	br *breaker
+
+	jmu sync.Mutex
+	jst uint64
 }
 
 // Option configures a Client.
@@ -42,6 +66,22 @@ func WithHTTPClient(hc *http.Client) Option {
 	return func(c *Client) { c.hc = hc }
 }
 
+// WithRetry overrides the retry budget: maxRetries re-attempts after
+// the first failure, starting at base backoff. WithRetry(0, 0)
+// disables retrying entirely.
+func WithRetry(maxRetries int, base time.Duration) Option {
+	return func(c *Client) {
+		c.maxRetries = maxRetries
+		c.retryBase = base
+	}
+}
+
+// WithoutBreaker disables the circuit breaker (tests that hammer a
+// deliberately dead endpoint and want every attempt on the wire).
+func WithoutBreaker() Option {
+	return func(c *Client) { c.br = nil }
+}
+
 // New returns a client for the daemon at addr ("host:port" or a full
 // "http://..." base URL).
 func New(addr string, opts ...Option) *Client {
@@ -50,8 +90,12 @@ func New(addr string, opts ...Option) *Client {
 		base = "http://" + base
 	}
 	c := &Client{
-		base: strings.TrimSuffix(base, "/"),
-		hc:   &http.Client{Timeout: 30 * time.Second},
+		base:       strings.TrimSuffix(base, "/"),
+		hc:         &http.Client{Timeout: 30 * time.Second},
+		maxRetries: 3,
+		retryBase:  25 * time.Millisecond,
+		br:         newBreaker(8, 500*time.Millisecond),
+		jst:        uint64(time.Now().UnixNano()),
 	}
 	for _, o := range opts {
 		o(c)
@@ -72,11 +116,18 @@ type QueryRequest struct {
 	Policy string `json:"policy,omitempty"`
 	// Origin pins the originating node ID; nil lets the daemon pick a
 	// local node round-robin. The node must be hosted by the daemon
-	// receiving the request.
+	// receiving the request. If the pinned node is crashed, the daemon
+	// reroutes to a live local node and marks the response Degraded.
 	Origin *int `json:"origin,omitempty"`
 	// TimeoutMillis bounds the hit-collection window; 0 uses the
 	// daemon's default window.
 	TimeoutMillis int `json:"timeout_ms,omitempty"`
+	// DeadlineMillis is a hard total budget for the request: the daemon
+	// clamps the collection window to what remains of it and, if the
+	// budget expires mid-collection, returns the hits gathered so far
+	// marked Degraded instead of hanging. 0 means no budget beyond the
+	// collection window.
+	DeadlineMillis int `json:"deadline_ms,omitempty"`
 	// MaxHits ends collection early after that many hits (1 turns the
 	// query into an existence probe that returns in a flood
 	// round-trip); 0 collects for the full window.
@@ -101,10 +152,38 @@ type QueryResponse struct {
 	Hits []Hit `json:"hits"`
 	// ElapsedMillis is the server-side collection time.
 	ElapsedMillis float64 `json:"elapsed_ms"`
+	// Degraded marks a response the daemon knows may be incomplete:
+	// the deadline budget cut collection short, the pinned origin was
+	// crashed and the query was rerouted, the origin could not fan out
+	// at all, or the failure detector currently suspects cluster
+	// members. The hits are still valid — there may just be fewer than
+	// a healthy cluster would have found.
+	Degraded bool `json:"degraded,omitempty"`
+	// DegradedReasons lists why, when Degraded ("deadline",
+	// "origin-crashed", "no-fanout", "suspect-members",
+	// "crashed-nodes").
+	DegradedReasons []string `json:"degraded_reasons,omitempty"`
 }
 
 // Found reports whether the query produced at least one hit.
 func (r *QueryResponse) Found() bool { return len(r.Hits) > 0 }
+
+// Degradation reasons carried in QueryResponse.DegradedReasons.
+const (
+	// ReasonDeadline: the deadline budget expired mid-collection.
+	ReasonDeadline = "deadline"
+	// ReasonOriginCrashed: the pinned origin was crashed; the query ran
+	// from a substitute node.
+	ReasonOriginCrashed = "origin-crashed"
+	// ReasonNoFanout: the origin could not forward to any neighbor and
+	// found nothing locally.
+	ReasonNoFanout = "no-fanout"
+	// ReasonSuspects: the failure detector currently suspects cluster
+	// members, so parts of the overlay may not have been searched.
+	ReasonSuspects = "suspect-members"
+	// ReasonCrashedNodes: the answering process hosts crashed nodes.
+	ReasonCrashedNodes = "crashed-nodes"
+)
 
 // MemberInfo describes one cluster member in GET /v1/cluster.
 type MemberInfo struct {
@@ -112,12 +191,17 @@ type MemberInfo struct {
 	HTTP   string `json:"http"`
 	BaseID int    `json:"base_id"`
 	Nodes  int    `json:"nodes"`
+	// Status is the answering member's failure-detector verdict on
+	// this member: "alive", "suspect" or "dead".
+	Status string `json:"status,omitempty"`
 }
 
 // NodeInfo describes one locally hosted node.
 type NodeInfo struct {
 	ID     int `json:"id"`
 	Degree int `json:"degree"`
+	// Crashed marks a node currently fault-injected down.
+	Crashed bool `json:"crashed,omitempty"`
 }
 
 // ClusterInfo is the body of GET /v1/cluster.
@@ -131,6 +215,9 @@ type ClusterInfo struct {
 	State string `json:"state"`
 	// Members is the full membership view, sorted by name.
 	Members []MemberInfo `json:"members"`
+	// Suspects lists members the answering process currently suspects
+	// or has evicted, sorted.
+	Suspects []string `json:"suspects,omitempty"`
 	// LocalNodes lists the answering member's nodes with their current
 	// neighbor degrees.
 	LocalNodes []NodeInfo `json:"local_nodes"`
@@ -144,12 +231,27 @@ type Error struct {
 	// Status is the HTTP status code; Message the daemon's error text.
 	Status  int
 	Message string
+	// RetryAfter is the server's Retry-After hint, when present.
+	RetryAfter time.Duration
 }
 
 // Error implements error.
 func (e *Error) Error() string {
 	return fmt.Sprintf("searchclient: %d %s", e.Status, e.Message)
 }
+
+// Temporary reports whether the failure is worth retrying: the daemon
+// exists but is not admitting right now (503 while paused, draining or
+// booting; 429 under shed). Hard client errors (4xx) are not.
+func (e *Error) Temporary() bool {
+	return e.Status == http.StatusServiceUnavailable ||
+		e.Status == http.StatusTooManyRequests
+}
+
+// ErrCircuitOpen is returned (wrapped) while the client's circuit
+// breaker is open: recent attempts all failed and the cooldown has not
+// elapsed, so the call failed fast without touching the network.
+var ErrCircuitOpen = errors.New("searchclient: circuit open")
 
 // Query runs one search through the daemon.
 func (c *Client) Query(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
@@ -195,36 +297,35 @@ func (c *Client) Reconfig(ctx context.Context) error {
 	return c.post(ctx, "/v1/control/reconfig", nil, nil)
 }
 
+// Crash fault-injects one locally hosted node down: the daemon blocks
+// its traffic and routes around it until Restart.
+func (c *Client) Crash(ctx context.Context, node int) error {
+	return c.post(ctx, "/v1/control/crash", map[string]int{"node": node}, nil)
+}
+
+// Restart lifts a Crash.
+func (c *Client) Restart(ctx context.Context, node int) error {
+	return c.post(ctx, "/v1/control/restart", map[string]int{"node": node}, nil)
+}
+
 // Ready reports nil when the daemon admits queries (GET /v1/readyz).
 func (c *Client) Ready(ctx context.Context) error {
 	return c.get(ctx, "/v1/readyz", nil)
 }
 
 func (c *Client) get(ctx context.Context, path string, out any) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
-	if err != nil {
-		return err
-	}
-	return c.do(req, out)
+	return c.do(ctx, http.MethodGet, path, nil, out)
 }
 
 func (c *Client) post(ctx context.Context, path string, body, out any) error {
-	var rd io.Reader
+	var data []byte
 	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(body); err != nil {
 			return err
 		}
-		rd = bytes.NewReader(data)
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, rd)
-	if err != nil {
-		return err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	return c.do(req, out)
+	return c.do(ctx, http.MethodPost, path, data, out)
 }
 
 // errBody is the daemon's error envelope: {"error": "..."}.
@@ -232,7 +333,66 @@ type errBody struct {
 	Error string `json:"error"`
 }
 
-func (c *Client) do(req *http.Request, out any) error {
+// retryable reports whether err is worth another attempt: transport
+// failures and Temporary daemon errors are; context expiry and hard
+// HTTP errors are not.
+func retryable(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var he *Error
+	if errors.As(err, &he) {
+		return he.Temporary()
+	}
+	return true // transport-level failure: connection refused, reset, ...
+}
+
+// do runs one call with retry, backoff and the circuit breaker. The
+// body is kept as bytes so every attempt rebuilds a fresh request.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		if bErr := c.allow(); bErr != nil {
+			return bErr
+		}
+		err = c.once(ctx, method, path, body, out)
+		c.record(err)
+		if err == nil || attempt >= c.maxRetries || !retryable(err) {
+			return err
+		}
+		// Jittered exponential backoff, stretched to any Retry-After the
+		// daemon sent, cut short by the request context.
+		wait := c.jitter(c.retryBase << attempt)
+		var he *Error
+		if errors.As(err, &he) && he.RetryAfter > wait {
+			wait = he.RetryAfter
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			return fmt.Errorf("searchclient: %w (last attempt: %v)", ctx.Err(), err)
+		case <-timer.C:
+		}
+	}
+}
+
+// once is a single request/response cycle.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -248,13 +408,111 @@ func (c *Client) do(req *http.Request, out any) error {
 		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
 			msg = eb.Error
 		}
-		return &Error{Status: resp.StatusCode, Message: msg}
+		he := &Error{Status: resp.StatusCode, Message: msg}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				he.RetryAfter = time.Duration(secs) * time.Second
+			}
+		}
+		return he
 	}
 	if out == nil {
 		return nil
 	}
 	if err := json.Unmarshal(data, out); err != nil {
-		return fmt.Errorf("searchclient: decode %s response: %w", req.URL.Path, err)
+		return fmt.Errorf("searchclient: decode %s response: %w", path, err)
 	}
 	return nil
+}
+
+// jitter maps d to a uniform duration in [d/2, d].
+func (c *Client) jitter(d time.Duration) time.Duration {
+	c.jmu.Lock()
+	c.jst += 0x9e3779b97f4a7c15
+	z := c.jst
+	c.jmu.Unlock()
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return d/2 + time.Duration(float64(z>>11)/(1<<53)*float64(d/2))
+}
+
+// allow consults the breaker before an attempt.
+func (c *Client) allow() error {
+	if c.br == nil {
+		return nil
+	}
+	if !c.br.allow() {
+		return fmt.Errorf("%w (endpoint %s)", ErrCircuitOpen, c.base)
+	}
+	return nil
+}
+
+// record feeds an attempt's outcome to the breaker. Any HTTP response
+// counts as a success — even a 503 proves the endpoint is up and
+// serving; the breaker guards against unreachable endpoints, not
+// admission refusals (retry handles those).
+func (c *Client) record(err error) {
+	if c.br == nil {
+		return
+	}
+	var he *Error
+	if err == nil || errors.As(err, &he) {
+		c.br.success()
+		return
+	}
+	c.br.failure()
+}
+
+// breaker is a minimal three-state circuit breaker: closed counts
+// consecutive failures; at threshold it opens and fails fast for
+// cooldown; then a single half-open probe either closes it or reopens
+// the cooldown.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	failures  int
+	openUntil time.Time
+	probing   bool
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.openUntil.IsZero() {
+		return true
+	}
+	if time.Now().Before(b.openUntil) {
+		return false
+	}
+	// Cooldown over: admit one probe, hold everyone else.
+	if b.probing {
+		return false
+	}
+	b.probing = true
+	return true
+}
+
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.openUntil = time.Time{}
+	b.probing = false
+}
+
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.probing || b.failures >= b.threshold {
+		b.openUntil = time.Now().Add(b.cooldown)
+		b.probing = false
+		b.failures = 0
+	}
 }
