@@ -487,69 +487,111 @@ func BenchmarkRunnerWorkers(b *testing.B) {
 
 // BenchmarkDaemonREST measures queries/sec through the dsearchd REST
 // path: an in-process 50-node chan-transport daemon (the CI-scale
-// deployment) serving a fixed 2,000-query slab fanned out over 64
-// client goroutines per op, every query an existence probe (MaxHits 1)
-// dispatched through pkg/searchclient. Relative to the in-process
-// saturation benchmarks this adds HTTP round-trips, JSON codecs and
-// the live actor fabric — the serving stack a deployment actually
-// pays; the queries/sec metric is the pr8 point of the repository's
-// BENCH_history.json trajectory.
+// deployment) queried through pkg/searchclient, every query an
+// existence probe (MaxHits 1). Relative to the in-process saturation
+// benchmarks this adds HTTP round-trips, JSON codecs and the live
+// actor fabric — the serving stack a deployment actually pays.
+//
+// "single" is the classic plane (the pr8 point of BENCH_history.json):
+// a fixed 2,000-query slab fanned out as 2,000 POST /v1/query over 64
+// client goroutines per op. "batch" is the pr10 headline: one POST
+// /v1/query/batch carrying a 10,000-query slab drained by the daemon's
+// resident batch workers — same fabric, ~1/10,000th the HTTP and
+// admission overhead. cmd/perfcheck gates both entries' allocs/op and
+// queries/sec against BENCH_baseline.json in CI.
 func BenchmarkDaemonREST(b *testing.B) {
 	const (
-		slab    = 2_000
-		workers = 64
+		singleSlab    = 2_000
+		singleWorkers = 64
+		batchSlab     = 16_384
 	)
 	srv, err := daemon.New(daemon.Config{
 		Nodes: 50, Degree: 3, TTL: 3, Keys: 200, Replicas: 3, Seed: 42,
-		QueryWindowMillis: 100,
+		QueryWindowMillis: 100, BatchWorkers: 512,
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
 	srv.Start()
 	defer srv.Drain(context.Background())
-
-	plan := daemon.BuildWorld(42, 50, 3, 200, 3).QueryPlan(slab)
-	tr := http.DefaultTransport.(*http.Transport).Clone()
-	tr.MaxIdleConnsPerHost = workers
-	client := searchclient.New(srv.Addr(), searchclient.WithHTTPClient(
-		&http.Client{Timeout: 30 * time.Second, Transport: tr}))
+	w := daemon.BuildWorld(42, 50, 3, 200, 3)
 	ctx := context.Background()
 
-	run := func() (hits int64) {
-		var count atomic.Int64
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, workers)
-		for _, q := range plan {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(q daemon.QuerySpec) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				origin := int(q.Origin)
-				resp, err := client.Query(ctx, searchclient.QueryRequest{
-					Key: uint64(q.Key), Origin: &origin, MaxHits: 1,
-				})
-				if err == nil && resp.Found() {
-					count.Add(1)
-				}
-			}(q)
+	b.Run("single", func(b *testing.B) {
+		plan := w.QueryPlan(singleSlab)
+		tr := http.DefaultTransport.(*http.Transport).Clone()
+		tr.MaxIdleConnsPerHost = singleWorkers
+		client := searchclient.New(srv.Addr(), searchclient.WithHTTPClient(
+			&http.Client{Timeout: 30 * time.Second, Transport: tr}))
+
+		run := func() (hits int64) {
+			var count atomic.Int64
+			var wg sync.WaitGroup
+			sem := make(chan struct{}, singleWorkers)
+			for _, q := range plan {
+				wg.Add(1)
+				sem <- struct{}{}
+				go func(q daemon.QuerySpec) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					origin := int(q.Origin)
+					resp, err := client.Query(ctx, searchclient.QueryRequest{
+						Key: uint64(q.Key), Origin: &origin, MaxHits: 1,
+					})
+					if err == nil && resp.Found() {
+						count.Add(1)
+					}
+				}(q)
+			}
+			wg.Wait()
+			return count.Load()
 		}
-		wg.Wait()
-		return count.Load()
-	}
-	run() // warm connections and actor fabric outside the timed region
-	b.ResetTimer()
-	var hits int64
-	for i := 0; i < b.N; i++ {
-		hits += run()
-	}
-	b.StopTimer()
-	if hits == 0 {
-		b.Fatal("no hits through the REST path")
-	}
-	b.ReportMetric(float64(b.N*slab)/b.Elapsed().Seconds(), "queries/sec")
-	b.ReportMetric(float64(hits)/float64(b.N*slab), "hit-rate")
+		run() // warm connections and actor fabric outside the timed region
+		b.ResetTimer()
+		var hits int64
+		for i := 0; i < b.N; i++ {
+			hits += run()
+		}
+		b.StopTimer()
+		if hits == 0 {
+			b.Fatal("no hits through the REST path")
+		}
+		b.ReportMetric(float64(b.N*singleSlab)/b.Elapsed().Seconds(), "queries/sec")
+		b.ReportMetric(float64(hits)/float64(b.N*singleSlab), "hit-rate")
+	})
+
+	b.Run("batch", func(b *testing.B) {
+		plan := w.QueryPlan(batchSlab)
+		client := searchclient.New(srv.Addr())
+		origins := make([]int, len(plan))
+		reqs := make([]searchclient.QueryRequest, len(plan))
+		for i, q := range plan {
+			origins[i] = int(q.Origin)
+			reqs[i] = searchclient.QueryRequest{
+				Key: uint64(q.Key), Origin: &origins[i], MaxHits: 1,
+			}
+		}
+
+		run := func() int64 {
+			resp, err := client.QueryBatch(ctx, reqs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return int64(resp.Hits())
+		}
+		run() // warm the connection and actor fabric
+		b.ResetTimer()
+		var hits int64
+		for i := 0; i < b.N; i++ {
+			hits += run()
+		}
+		b.StopTimer()
+		if hits == 0 {
+			b.Fatal("no hits through the batch path")
+		}
+		b.ReportMetric(float64(b.N*batchSlab)/b.Elapsed().Seconds(), "queries/sec")
+		b.ReportMetric(float64(hits)/float64(b.N*batchSlab), "hit-rate")
+	})
 }
 
 // BenchmarkWebCache runs the Squid-like case study.

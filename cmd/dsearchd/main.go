@@ -20,6 +20,12 @@
 //	dsearchd -nodes 50 -seed 42 -fault-drop 0.10 -fault-delay-max 20
 //	curl -d '{"node":3}' http://127.0.0.1:7080/v1/control/crash
 //
+// Profiling is off by default; -pprof-addr serves net/http/pprof on a
+// separate listener:
+//
+//	dsearchd -nodes 50 -pprof-addr 127.0.0.1:6060
+//	go tool pprof "http://127.0.0.1:6060/debug/pprof/profile?seconds=10"
+//
 // A JSON config file (-config, same field names as the flags' JSON
 // tags) seeds the configuration; explicitly set flags override it.
 // SIGINT/SIGTERM trigger a graceful drain: admission stops, in-flight
@@ -30,6 +36,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // profiling endpoints, served only when -pprof-addr is set
 	"os"
 	"os/signal"
 	"strings"
@@ -64,6 +72,11 @@ func main() {
 		gossipF = flag.Int("gossip-fanout", 2, "peers contacted per gossip round")
 		window  = flag.Int("query-window", 100, "default hit-collection window (ms)")
 		drainT  = flag.Int("drain-timeout", 10_000, "graceful drain bound (ms)")
+
+		batchW   = flag.Int("batch-workers", 64, "resident workers draining one /v1/query/batch slab")
+		maxBatch = flag.Int("max-batch", 16_384, "largest query slab one batch request may carry")
+
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof on this address (off when empty)")
 
 		fdSuspect = flag.Int("fd-suspect-rounds", 3, "gossip rounds without a heartbeat before suspecting a member")
 		fdEvict   = flag.Int("fd-evict-rounds", 6, "gossip rounds without a heartbeat before evicting a member")
@@ -153,6 +166,12 @@ func main() {
 	if cfg.DrainTimeoutMillis == 0 || set["drain-timeout"] {
 		cfg.DrainTimeoutMillis = *drainT
 	}
+	if cfg.BatchWorkers == 0 || set["batch-workers"] {
+		cfg.BatchWorkers = *batchW
+	}
+	if cfg.MaxBatch == 0 || set["max-batch"] {
+		cfg.MaxBatch = *maxBatch
+	}
 	if cfg.FDSuspectRounds == 0 || set["fd-suspect-rounds"] {
 		cfg.FDSuspectRounds = *fdSuspect
 	}
@@ -179,6 +198,19 @@ func main() {
 	}
 	if cfg.Faults.DelayMaxMillis == 0 || set["fault-delay-max"] {
 		cfg.Faults.DelayMaxMillis = *faultDelayMax
+	}
+
+	// Optional profiling plane, off by default and never on the query
+	// listener. Capture a CPU profile of a running daemon with:
+	//
+	//	go tool pprof "http://127.0.0.1:6060/debug/pprof/profile?seconds=10"
+	if *pprofAddr != "" {
+		go func() {
+			// net/http/pprof registers on http.DefaultServeMux.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "dsearchd: pprof: %v\n", err)
+			}
+		}()
 	}
 
 	srv, err := daemon.New(cfg)

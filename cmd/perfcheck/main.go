@@ -22,7 +22,10 @@
 //
 // The gate fails (exit 1) when any baseline benchmark worsens its
 // allocs/op by more than -max-ratio (default 2), disappears, or drops
-// the metric. Wall-clock metrics (ns/op) are *reported* — a per-entry
+// the metric. A partial bench run gates against the matching slice of
+// the baseline with -gate-prefix (CI's daemon job benches only
+// BenchmarkDaemonREST but shares BENCH_baseline.json with the full
+// sweep). Wall-clock metrics (ns/op) are *reported* — a per-entry
 // baseline→current delta table on stderr — but never gated: CI
 // machines are too noisy for time thresholds, while allocation counts
 // are schedule-independent and stable.
@@ -62,6 +65,7 @@ func main() {
 		maxRatio   = flag.Float64("max-ratio", 2, "fail when current allocs/op exceeds baseline*ratio")
 		metric     = flag.String("metric", "allocs/op", "comma-free metric name to gate on")
 		update     = flag.Bool("update", false, "rewrite the -baseline file from this run instead of gating")
+		gatePrefix = flag.String("gate-prefix", "", "gate only baseline entries whose name starts with this prefix (partial bench runs)")
 		history    = flag.String("history", "", "trajectory BENCH_history json to report movement against")
 		appendHist = flag.Bool("append-history", false, "record this run as the -history file's new latest point")
 		label      = flag.String("label", "", "label for the appended history point (required with -append-history)")
@@ -141,6 +145,21 @@ func main() {
 	base, err := perf.Read(*baseline)
 	if err != nil {
 		fatal(err)
+	}
+	// A partial bench run (e.g. CI's daemon job benches only the REST
+	// path) gates against the matching slice of the baseline; without
+	// the filter every unbenched baseline entry would count as missing.
+	if *gatePrefix != "" {
+		filtered := &perf.Report{Schema: base.Schema, Source: base.Source}
+		for _, e := range base.Entries {
+			if strings.HasPrefix(e.Name, *gatePrefix) {
+				filtered.Add(e.Name, e.Metrics)
+			}
+		}
+		if len(filtered.Entries) == 0 {
+			fatal(fmt.Errorf("perfcheck: no baseline entries match -gate-prefix %q", *gatePrefix))
+		}
+		base = filtered
 	}
 	reportTimeDeltas(base, rep)
 	regs := perf.Compare(base, rep, *maxRatio, *metric)

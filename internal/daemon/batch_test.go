@@ -1,0 +1,386 @@
+package daemon
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+	"repro/pkg/searchclient"
+)
+
+// batchDaemon boots a small chan-transport cluster for batch tests.
+func batchDaemon(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Start()
+	t.Cleanup(func() { _ = srv.Drain(context.Background()) })
+	return srv
+}
+
+// reasonSet canonicalizes a degraded-reason list for comparison.
+func reasonSet(rs []string) string {
+	cp := append([]string(nil), rs...)
+	sort.Strings(cp)
+	return strings.Join(cp, ",")
+}
+
+// holderDist is the BFS distance from origin to the nearest holder of
+// key over the world graph, or maxd+1 when no holder lies within maxd
+// hops. The equivalence harness keeps only order-proof queries: live
+// flood suppression is first-copy-wins, so a relay whose first copy
+// arrived via a longer route may have its TTL exhausted and cut the
+// short path — any query whose nearest replica lies 2..TTL hops out
+// can legitimately flip with message ordering. Distance 1 is a
+// guaranteed hit (the origin always sends to every neighbor, and a
+// node's first copy — whatever its route — gets exactly one store
+// check), and distance > TTL is a guaranteed miss (hop counting is
+// exact, reach can only shrink).
+//
+// The origin's own store is deliberately ignored: a live node never
+// answers its own query (QueryInfo floods to neighbors without a
+// local store check), so the distance that decides the outcome is
+// always the one to another holder.
+func holderDist(w *World, origin topology.NodeID, key core.Key, maxd int) int {
+	dist := map[topology.NodeID]int{origin: 0}
+	queue := []topology.NodeID{origin}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		d := dist[cur]
+		if d >= maxd {
+			continue
+		}
+		for _, nb := range w.Net.Out(cur) {
+			if _, seen := dist[nb]; seen {
+				continue
+			}
+			dist[nb] = d + 1
+			if w.HasContent(nb, key) {
+				return d + 1
+			}
+			queue = append(queue, nb)
+		}
+	}
+	return maxd + 1
+}
+
+// TestBatchSequentialEquivalence is the hit-rate contract of the batch
+// plane: one POST /v1/query/batch of 1k queries must produce, query by
+// query, the same hit outcome and the same degraded-reason set as 1k
+// single POST /v1/query calls against an identical cluster. Flood over
+// a shared deterministic graph is reachability, so the outcomes are
+// not statistical — they must match exactly.
+func TestBatchSequentialEquivalence(t *testing.T) {
+	const (
+		nodes, degree, ttl = 50, 3, 3
+		keys, replicas     = 200, 3
+		seed               = 42
+		queries            = 1000
+		workers            = 16
+	)
+	// Per-query equality demands a drop-free, timing-proof run: modest
+	// concurrency keeps every inbox far from its cap (asserted below),
+	// and a collection window far above the sub-millisecond flood RTT
+	// means a reachable hit always beats the window — the outcome is
+	// pure reachability, not scheduling. Higher concurrency lives in
+	// the hammer test; the throughput story in BenchmarkDaemonREST.
+	cfg := Config{
+		Nodes: nodes, Degree: degree, TTL: ttl,
+		Keys: keys, Replicas: replicas, Seed: seed,
+		QueryWindowMillis: 200, BatchWorkers: workers,
+	}
+	srv := batchDaemon(t, cfg)
+
+	// Draw from a longer plan and keep the first 1k order-proof
+	// queries: nearest (non-origin) replica at a direct neighbor
+	// (certain hit) or beyond the TTL ball (certain miss) — see
+	// holderDist for why anything in between may flip.
+	w := BuildWorld(seed, nodes, degree, keys, replicas)
+	var reqs []searchclient.QueryRequest
+	for _, q := range w.QueryPlan(8 * queries) {
+		if d := holderDist(w, q.Origin, q.Key, ttl); d > 1 && d <= ttl {
+			continue
+		}
+		origin := int(q.Origin)
+		reqs = append(reqs, searchclient.QueryRequest{
+			Key: uint64(q.Key), Origin: &origin, MaxHits: 1,
+		})
+		if len(reqs) == queries {
+			break
+		}
+	}
+	if len(reqs) < queries {
+		t.Fatalf("only %d/%d stable queries in the extended plan", len(reqs), queries)
+	}
+
+	client := fanClient(srv.Addr(), workers)
+	ctx := context.Background()
+
+	// Single-query reference run, same concurrency as the batch's
+	// resident workers so saturation (if any) is comparable.
+	singleHit := make([]bool, len(reqs))
+	singleReasons := make([]string, len(reqs))
+	var failures atomic.Int64
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range reqs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			resp, err := client.Query(ctx, reqs[i])
+			if err != nil {
+				failures.Add(1)
+				return
+			}
+			singleHit[i] = resp.Found()
+			singleReasons[i] = reasonSet(resp.DegradedReasons)
+		}(i)
+	}
+	wg.Wait()
+	if n := failures.Load(); n > 0 {
+		t.Fatalf("%d/%d single queries failed", n, queries)
+	}
+
+	batch, err := client.QueryBatch(ctx, reqs)
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	if len(batch.Results) != len(reqs) {
+		t.Fatalf("batch answered %d results for %d queries", len(batch.Results), len(reqs))
+	}
+
+	singleHits, batchHits, mismatches := 0, 0, 0
+	for i := range reqs {
+		it := &batch.Results[i]
+		if !it.OK() {
+			t.Fatalf("batch item %d failed: %d %s", i, it.Status, it.Error)
+		}
+		if singleHit[i] {
+			singleHits++
+		}
+		if it.Found() {
+			batchHits++
+		}
+		if it.Found() != singleHit[i] {
+			mismatches++
+			t.Logf("mismatch %d: key %d origin %d dist %d: single=%v batch=%v",
+				i, reqs[i].Key, *reqs[i].Origin,
+				holderDist(w, topology.NodeID(*reqs[i].Origin), core.Key(reqs[i].Key), ttl),
+				singleHit[i], it.Found())
+		}
+		if got := reasonSet(it.DegradedReasons); got != singleReasons[i] {
+			t.Fatalf("item %d degraded reasons: batch %q vs single %q", i, got, singleReasons[i])
+		}
+	}
+	if dropped := srv.nodeStats.InboxDropped.Load(); dropped != 0 {
+		t.Fatalf("%d inbox drops — the harness saturated the cluster, outcomes are not comparable", dropped)
+	}
+	if mismatches != 0 || singleHits != batchHits {
+		t.Fatalf("hit outcomes diverged: single %d, batch %d, %d per-query mismatches",
+			singleHits, batchHits, mismatches)
+	}
+	t.Logf("equivalent: %d/%d hits both ways", batchHits, queries)
+}
+
+// TestBatchValidation pins the error split: body-level problems fail
+// the whole batch with 400, item-level problems fail only the item
+// inside a 200.
+func TestBatchValidation(t *testing.T) {
+	srv := batchDaemon(t, Config{
+		Nodes: 8, Degree: 3, TTL: 3, Keys: 16, Replicas: 2, Seed: 7,
+		QueryWindowMillis: 50, MaxBatch: 4,
+	})
+	client := searchclient.New(srv.Addr(), searchclient.WithRetry(0, 0))
+	ctx := context.Background()
+
+	wantStatus := func(err error, status int) {
+		t.Helper()
+		var he *searchclient.Error
+		if !errors.As(err, &he) || he.Status != status {
+			t.Fatalf("want HTTP %d, got %v", status, err)
+		}
+	}
+
+	// Whole-batch 400s: empty slab, slab over max_batch.
+	_, err := client.QueryBatch(ctx, nil)
+	wantStatus(err, 400)
+	_, err = client.QueryBatch(ctx, make([]searchclient.QueryRequest, 5))
+	wantStatus(err, 400)
+
+	// Item-level failures ride inside a 200 next to successes.
+	badOrigin := 99
+	resp, err := client.QueryBatch(ctx, []searchclient.QueryRequest{
+		{Key: 3, MaxHits: 1},                     // fine
+		{Key: 999},                               // outside the catalog
+		{Key: 3, Policy: "no-such-policy"},       // unknown policy
+		{Key: 3, Origin: &badOrigin, MaxHits: 1}, // not hosted here
+	})
+	if err != nil {
+		t.Fatalf("mixed batch: %v", err)
+	}
+	if !resp.Results[0].OK() {
+		t.Fatalf("valid item failed: %d %s", resp.Results[0].Status, resp.Results[0].Error)
+	}
+	for i := 1; i <= 3; i++ {
+		if resp.Results[i].Status != 400 || resp.Results[i].Error == "" {
+			t.Fatalf("item %d: want per-item 400, got %d %q",
+				i, resp.Results[i].Status, resp.Results[i].Error)
+		}
+	}
+	if err := resp.BatchStatusError(); err == nil {
+		t.Fatal("BatchStatusError missed the failing items")
+	}
+}
+
+// TestBatchPauseResume: a paused daemon refuses the whole slab with
+// 503 (batch-atomic admission — no partial admission), and serves it
+// again after resume.
+func TestBatchPauseResume(t *testing.T) {
+	srv := batchDaemon(t, Config{
+		Nodes: 8, Degree: 3, TTL: 3, Keys: 16, Replicas: 2, Seed: 7,
+		QueryWindowMillis: 50,
+	})
+	client := searchclient.New(srv.Addr(), searchclient.WithRetry(0, 0))
+	ctx := context.Background()
+	reqs := []searchclient.QueryRequest{{Key: 1, MaxHits: 1}, {Key: 2, MaxHits: 1}}
+
+	if err := client.Pause(ctx); err != nil {
+		t.Fatal(err)
+	}
+	_, err := client.QueryBatch(ctx, reqs)
+	var he *searchclient.Error
+	if !errors.As(err, &he) || he.Status != 503 {
+		t.Fatalf("paused daemon: want 503 for the whole batch, got %v", err)
+	}
+	if he.RetryAfter == 0 {
+		t.Fatal("503 missing Retry-After hint")
+	}
+
+	if err := client.Resume(ctx); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.QueryBatch(ctx, reqs)
+	if err != nil {
+		t.Fatalf("after resume: %v", err)
+	}
+	for i := range resp.Results {
+		if !resp.Results[i].OK() {
+			t.Fatalf("item %d failed after resume: %s", i, resp.Results[i].Error)
+		}
+	}
+}
+
+// TestBatchSingleMixedHammer runs single queries and batches against
+// one daemon concurrently — the race-detector workout for the shared
+// runQuery path, pooled buffers and batch workers.
+func TestBatchSingleMixedHammer(t *testing.T) {
+	const (
+		nodes, keys = 16, 32
+		hammers     = 4
+		rounds      = 8
+		slab        = 24
+	)
+	srv := batchDaemon(t, Config{
+		Nodes: nodes, Degree: 3, TTL: 3, Keys: keys, Replicas: 3, Seed: 11,
+		QueryWindowMillis: 30, BatchWorkers: 8,
+	})
+	client := fanClient(srv.Addr(), hammers*2)
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	errc := make(chan error, hammers*2)
+	for h := 0; h < hammers; h++ {
+		wg.Add(2)
+		go func(h int) { // singles
+			defer wg.Done()
+			for r := 0; r < rounds*slab/4; r++ {
+				_, err := client.Query(ctx, searchclient.QueryRequest{
+					Key: uint64((h + r) % keys), MaxHits: 1,
+				})
+				if err != nil {
+					errc <- fmt.Errorf("single: %w", err)
+					return
+				}
+			}
+		}(h)
+		go func(h int) { // batches
+			defer wg.Done()
+			reqs := make([]searchclient.QueryRequest, slab)
+			for r := 0; r < rounds; r++ {
+				for i := range reqs {
+					reqs[i] = searchclient.QueryRequest{
+						Key: uint64((h*slab + r + i) % keys), MaxHits: 1,
+					}
+				}
+				resp, err := client.QueryBatch(ctx, reqs)
+				if err != nil {
+					errc <- fmt.Errorf("batch: %w", err)
+					return
+				}
+				if err := resp.BatchStatusError(); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(h)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestStatsLatencyHistograms: the per-endpoint histograms must show up
+// in /v1/stats once their endpoints have been exercised, and only
+// then.
+func TestStatsLatencyHistograms(t *testing.T) {
+	srv := batchDaemon(t, Config{
+		Nodes: 8, Degree: 3, TTL: 3, Keys: 16, Replicas: 2, Seed: 7,
+		QueryWindowMillis: 30,
+	})
+	client := searchclient.New(srv.Addr())
+	ctx := context.Background()
+
+	if _, err := client.Query(ctx, searchclient.QueryRequest{Key: 1, MaxHits: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.QueryBatch(ctx, []searchclient.QueryRequest{{Key: 2, MaxHits: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"http_query_count", "http_query_p50_us", "http_query_p95_us", "http_query_p99_us",
+		"http_query_batch_count", "http_query_batch_p99_us",
+	} {
+		if _, ok := stats[key]; !ok {
+			t.Fatalf("stats missing %s (got %d keys)", key, len(stats))
+		}
+	}
+	if stats["http_query_count"] == 0 || stats["http_query_batch_count"] == 0 {
+		t.Fatalf("endpoint counts not recorded: %v", stats)
+	}
+	// An endpoint never hit stays out of the snapshot entirely.
+	if _, ok := stats["http_control_pause_count"]; ok {
+		t.Fatal("untouched endpoint leaked a histogram into /v1/stats")
+	}
+	// The query window bounds a probe; its p99 must be sane (< 10s).
+	if p99 := stats["http_query_p99_us"]; p99 == 0 || p99 > 10_000_000 {
+		t.Fatalf("http_query_p99_us = %d, want a plausible latency", p99)
+	}
+}

@@ -66,6 +66,13 @@ type Config struct {
 	// QueryWindowMillis is the default per-query hit-collection window
 	// when a request does not carry its own.
 	QueryWindowMillis int `json:"query_window_ms"`
+	// BatchWorkers is how many resident workers drain one
+	// POST /v1/query/batch slab; misses pay the full collection window,
+	// so the worker count bounds how many such windows overlap.
+	BatchWorkers int `json:"batch_workers"`
+	// MaxBatch caps the number of queries one batch request may carry;
+	// larger slabs are rejected whole (400).
+	MaxBatch int `json:"max_batch"`
 	// DrainTimeoutMillis bounds how long Drain waits for in-flight
 	// queries before giving up on them.
 	DrainTimeoutMillis int `json:"drain_timeout_ms"`
@@ -156,6 +163,12 @@ func (c *Config) ApplyDefaults() {
 	if c.DrainTimeoutMillis == 0 {
 		c.DrainTimeoutMillis = 10_000
 	}
+	if c.BatchWorkers == 0 {
+		c.BatchWorkers = 64
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 16_384
+	}
 	if c.FDSuspectRounds == 0 {
 		c.FDSuspectRounds = 3
 	}
@@ -187,6 +200,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("daemon: degree/ttl/keys/replicas must be positive")
 	case c.GossipFanout <= 0 || c.GossipIntervalMillis <= 0:
 		return fmt.Errorf("daemon: gossip fanout and interval must be positive")
+	case c.BatchWorkers <= 0 || c.MaxBatch <= 0:
+		return fmt.Errorf("daemon: batch_workers and max_batch must be positive")
 	case c.FDEvictRounds <= c.FDSuspectRounds:
 		return fmt.Errorf("daemon: fd_evict_rounds %d must exceed fd_suspect_rounds %d",
 			c.FDEvictRounds, c.FDSuspectRounds)

@@ -140,16 +140,25 @@ func TestThreeProcessTCPDrain(t *testing.T) {
 	w := BuildWorld(7, 12, 2, 64, 3)
 	plan := w.QueryPlan(36)
 	hits := 0
+	// neighborHit is a query that answered from one hop out: its hit is
+	// pure reachability (the origin always floods all neighbors), so it
+	// must keep hitting later — we replay it mid-drain to prove the
+	// coalescing writers flushed rather than stranded the final frames.
+	var neighborHit *searchclient.QueryRequest
 	for i, q := range plan {
 		origin := int(q.Origin)
-		resp, err := clients[origin/4].Query(ctx, searchclient.QueryRequest{
+		req := searchclient.QueryRequest{
 			Key: uint64(q.Key), Origin: &origin, MaxHits: 1,
-		})
+		}
+		resp, err := clients[origin/4].Query(ctx, req)
 		if err != nil {
 			t.Fatalf("query %d: %v", i, err)
 		}
 		if resp.Found() {
 			hits++
+			if neighborHit == nil && resp.Hits[0].Hops == 1 {
+				neighborHit = &req
+			}
 		}
 	}
 	if hits == 0 {
@@ -157,13 +166,49 @@ func TestThreeProcessTCPDrain(t *testing.T) {
 	}
 	t.Logf("3-process cluster: %d/%d hits", hits, len(plan))
 
+	// The batch plane works across real processes too: one slab per
+	// member, same fabric, hits landing from remote shards.
+	for i, c := range clients {
+		var breqs []searchclient.QueryRequest
+		for _, q := range plan[:24] {
+			origin := int(q.Origin)
+			if origin/4 != i {
+				continue
+			}
+			breqs = append(breqs, searchclient.QueryRequest{
+				Key: uint64(q.Key), Origin: &origin, MaxHits: 1,
+			})
+		}
+		if len(breqs) == 0 {
+			continue
+		}
+		bresp, err := c.QueryBatch(ctx, breqs)
+		if err != nil {
+			t.Fatalf("batch via member %d: %v", i, err)
+		}
+		if serr := bresp.BatchStatusError(); serr != nil {
+			t.Fatalf("batch via member %d: per-item failures: %v", i, serr)
+		}
+	}
+
 	// SIGTERM p0 with a full-window query in flight: the drain must let
-	// it finish (HTTP 200) before the process exits 0.
+	// it finish (HTTP 200) before the process exits 0 — and if we have a
+	// guaranteed one-hop hit, it must still HIT, which means the
+	// coalescing TCP writers flushed the query and hit frames on the way
+	// down instead of stranding them in their buffers.
+	drainReq := searchclient.QueryRequest{Key: uint64(plan[0].Key), TimeoutMillis: 500}
+	mustHit := false
+	if neighborHit != nil && *neighborHit.Origin/4 == 0 {
+		drainReq = *neighborHit
+		drainReq.TimeoutMillis = 500
+		drainReq.MaxHits = 0 // hold the window open so SIGTERM lands mid-flight
+		mustHit = true
+	}
 	inflight := make(chan error, 1)
+	var drainResp *searchclient.QueryResponse
 	go func() {
-		_, err := clients[0].Query(ctx, searchclient.QueryRequest{
-			Key: uint64(plan[0].Key), TimeoutMillis: 500,
-		})
+		var err error
+		drainResp, err = clients[0].Query(ctx, drainReq)
 		inflight <- err
 	}()
 	time.Sleep(100 * time.Millisecond) // past admission, inside the window
@@ -173,6 +218,8 @@ func TestThreeProcessTCPDrain(t *testing.T) {
 	go func() { defer wg.Done(); p0.terminate(t) }()
 	if err := <-inflight; err != nil {
 		t.Errorf("in-flight query failed during SIGTERM drain: %v", err)
+	} else if mustHit && !drainResp.Found() {
+		t.Errorf("one-hop query lost its hit during SIGTERM drain: frames stranded in a coalescing writer?")
 	}
 	wg.Wait()
 

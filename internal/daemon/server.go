@@ -20,8 +20,10 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -454,33 +456,54 @@ func (s *Server) Heal() error {
 // FaultStats exposes the fault plane's counters.
 func (s *Server) FaultStats() *faults.Stats { return s.faultT.Stats() }
 
-// mux builds the HTTP plane.
+// mux builds the HTTP plane. Every endpoint is wrapped in a latency
+// histogram (surfaced in /v1/stats as <name>_{count,p50_us,p95_us,
+// p99_us}); untouched endpoints stay out of the snapshot.
 func (s *Server) mux() *http.ServeMux {
 	m := http.NewServeMux()
-	m.HandleFunc("POST /v1/query", s.handleQuery)
-	m.HandleFunc("GET /v1/cluster", s.handleCluster)
-	m.HandleFunc("GET /v1/stats", s.handleStats)
-	m.HandleFunc("POST /v1/control/pause", s.handlePause)
-	m.HandleFunc("POST /v1/control/resume", s.handleResume)
-	m.HandleFunc("POST /v1/control/reconfig", s.handleReconfig)
-	m.HandleFunc("POST /v1/control/crash", s.handleCrash)
-	m.HandleFunc("POST /v1/control/restart", s.handleRestart)
-	m.HandleFunc("POST /v1/gossip", s.handleGossip)
-	m.HandleFunc("GET /v1/healthz", s.handleHealthz)
-	m.HandleFunc("GET /v1/readyz", s.handleReadyz)
+	m.HandleFunc("POST /v1/query", s.timed("http_query", s.handleQuery))
+	m.HandleFunc("POST /v1/query/batch", s.timed("http_query_batch", s.handleQueryBatch))
+	m.HandleFunc("GET /v1/cluster", s.timed("http_cluster", s.handleCluster))
+	m.HandleFunc("GET /v1/stats", s.timed("http_stats", s.handleStats))
+	m.HandleFunc("POST /v1/control/pause", s.timed("http_control_pause", s.handlePause))
+	m.HandleFunc("POST /v1/control/resume", s.timed("http_control_resume", s.handleResume))
+	m.HandleFunc("POST /v1/control/reconfig", s.timed("http_control_reconfig", s.handleReconfig))
+	m.HandleFunc("POST /v1/control/crash", s.timed("http_control_crash", s.handleCrash))
+	m.HandleFunc("POST /v1/control/restart", s.timed("http_control_restart", s.handleRestart))
+	m.HandleFunc("POST /v1/gossip", s.timed("http_gossip", s.handleGossip))
+	m.HandleFunc("GET /v1/healthz", s.timed("http_healthz", s.handleHealthz))
+	m.HandleFunc("GET /v1/readyz", s.timed("http_readyz", s.handleReadyz))
 	return m
 }
 
-func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
-	var req searchclient.QueryRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad query body: "+err.Error())
-		return
+// timed wraps a handler with a per-endpoint latency histogram. The
+// histogram pointer is resolved once at mux-build time, so the hot
+// path costs one clock read and one atomic add.
+func (s *Server) timed(name string, h http.HandlerFunc) http.HandlerFunc {
+	hist := s.reg.Latency(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		hist.Observe(time.Since(start))
 	}
+}
+
+// noRelease is the admission stand-in for queries already covered by a
+// batch-level gate entry.
+func noRelease() (func(), bool) { return func() {}, true }
+
+// runQuery executes one query end to end — validation, origin
+// selection with crashed-node reroute, per-request policy, deadline
+// clamping, admission and the live search — and returns either the
+// response or the HTTP status and message the caller should answer
+// with (code 0 means success). Both the single and the batch endpoint
+// funnel through here, so the two planes cannot drift semantically.
+func (s *Server) runQuery(ctx context.Context, req *searchclient.QueryRequest,
+	admit func() (func(), bool)) (searchclient.QueryResponse, int, string) {
+	var zero searchclient.QueryResponse
 	if req.Key >= uint64(s.cfg.Keys) {
-		writeErr(w, http.StatusBadRequest,
-			fmt.Sprintf("key %d outside catalog [0,%d)", req.Key, s.cfg.Keys))
-		return
+		return zero, http.StatusBadRequest,
+			fmt.Sprintf("key %d outside catalog [0,%d)", req.Key, s.cfg.Keys)
 	}
 
 	// Origin selection routes around crashed nodes: a pinned-but-down
@@ -491,24 +514,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var node *live.Node
 	if req.Origin != nil {
 		if node = s.localNode(*req.Origin); node == nil {
-			writeErr(w, http.StatusBadRequest,
+			return zero, http.StatusBadRequest,
 				fmt.Sprintf("origin %d not hosted here (shard [%d,%d))",
-					*req.Origin, s.cfg.BaseID, s.cfg.BaseID+s.cfg.Nodes))
-			return
+					*req.Origin, s.cfg.BaseID, s.cfg.BaseID+s.cfg.Nodes)
 		}
 		if s.nodeCrashed(*req.Origin) {
 			if node = s.pickLive(); node == nil {
 				s.qRejected.Inc()
-				writeUnavailable(w, "every local node is crashed")
-				return
+				return zero, http.StatusServiceUnavailable, "every local node is crashed"
 			}
 			reasons = append(reasons, searchclient.ReasonOriginCrashed)
 		}
 	} else {
 		if node = s.pickLive(); node == nil {
 			s.qRejected.Inc()
-			writeUnavailable(w, "every local node is crashed")
-			return
+			return zero, http.StatusServiceUnavailable, "every local node is crashed"
 		}
 	}
 
@@ -522,8 +542,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		pol, err := search.PolicyByName(req.Policy,
 			search.PolicyEnv{Intn: rng.New(s.cfg.Seed ^ seq).Intn})
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "policy: "+err.Error())
-			return
+			return zero, http.StatusBadRequest, "policy: " + err.Error()
 		}
 		forward = pol
 	}
@@ -538,7 +557,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// the query off mid-collection if it is exhausted anyway — the
 	// client gets whatever arrived, flagged Degraded, instead of a
 	// timeout error with nothing.
-	cancel := r.Context().Done()
+	cancel := ctx.Done()
 	clamped := false
 	if req.DeadlineMillis > 0 {
 		budget := time.Duration(req.DeadlineMillis) * time.Millisecond
@@ -546,16 +565,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			timeout = budget
 			clamped = true // the budget already cut collection short
 		}
-		ctx, stop := context.WithTimeout(r.Context(), budget)
+		dctx, stop := context.WithTimeout(ctx, budget)
 		defer stop()
-		cancel = ctx.Done()
+		cancel = dctx.Done()
 	}
 
-	release, ok := s.admit()
+	release, ok := admit()
 	if !ok {
 		s.qRejected.Inc()
-		writeUnavailable(w, "not admitting queries (state "+s.State().String()+")")
-		return
+		return zero, http.StatusServiceUnavailable,
+			"not admitting queries (state " + s.State().String() + ")"
 	}
 	defer release()
 
@@ -605,7 +624,95 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 			Holder: int(h.Holder), Hops: h.Hops, Class: h.Class.String(),
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	return resp, 0, ""
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req searchclient.QueryRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad query body: "+err.Error())
+		return
+	}
+	resp, code, msg := s.runQuery(r.Context(), &req, s.admit)
+	if code != 0 {
+		if code == http.StatusServiceUnavailable {
+			writeUnavailable(w, msg)
+		} else {
+			writeErr(w, code, msg)
+		}
+		return
+	}
+	writeJSONFast(w, http.StatusOK, &resp)
+}
+
+// handleQueryBatch admits a slab of queries through the lifecycle gate
+// as one unit and drains it on the configured number of resident
+// workers, each running the exact single-query path (runQuery).
+// Admission is batch-atomic: one gate check and one inflight entry
+// cover the slab, so Drain waits for a started batch to finish and a
+// paused daemon refuses the whole slab with 503. Malformed bodies,
+// empty slabs and slabs over max_batch are whole-batch 400s; per-item
+// problems (bad key, unknown policy, unhosted origin, all-crashed
+// shard) mark only that item's result.
+func (s *Server) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	var req searchclient.BatchQueryRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad batch body: "+err.Error())
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Queries) > s.cfg.MaxBatch {
+		writeErr(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d exceeds max_batch %d", len(req.Queries), s.cfg.MaxBatch))
+		return
+	}
+
+	release, ok := s.admit()
+	if !ok {
+		s.qRejected.Add(uint64(len(req.Queries)))
+		writeUnavailable(w, "not admitting queries (state "+s.State().String()+")")
+		return
+	}
+	defer release()
+
+	start := time.Now()
+	results := make([]searchclient.BatchItem, len(req.Queries))
+	workers := s.cfg.BatchWorkers
+	if workers > len(req.Queries) {
+		workers = len(req.Queries)
+	}
+	// Resident workers drain a shared index: misses pay the full
+	// collection window, so the worker count is how many such windows
+	// overlap instead of serializing.
+	var next atomic.Uint64
+	var wg sync.WaitGroup
+	ctx := r.Context()
+	for range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(req.Queries) {
+					return
+				}
+				resp, code, msg := s.runQuery(ctx, &req.Queries[i], noRelease)
+				if code != 0 {
+					results[i].Status, results[i].Error = code, msg
+					continue
+				}
+				results[i].QueryResponse = resp
+			}
+		}()
+	}
+	wg.Wait()
+	writeJSONFast(w, http.StatusOK, &searchclient.BatchQueryResponse{
+		Results:       results,
+		ElapsedMillis: float64(time.Since(start).Microseconds()) / 1000,
+	})
 }
 
 // handleCrash and handleRestart are the fault-injection control plane:
@@ -665,6 +772,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	snap["node_hits_served"] = s.nodeStats.HitsServed.Load()
 	snap["node_hits_received"] = s.nodeStats.HitsReceived.Load()
 	snap["node_inbox_dropped"] = s.nodeStats.InboxDropped.Load()
+	snap["node_send_failed"] = s.nodeStats.SendFailed.Load()
 	for k, v := range s.faultT.Stats().Snapshot() {
 		snap[k] = v
 	}
@@ -814,6 +922,40 @@ func classFor(name string) (netsim.BandwidthClass, error) {
 	default:
 		return 0, fmt.Errorf("daemon: unknown bandwidth class %q", name)
 	}
+}
+
+// bufPool recycles body buffers across requests on the hot query
+// paths: request bodies are slurped into a pooled buffer and decoded
+// with Unmarshal (cheaper than a fresh Decoder), responses are encoded
+// into a pooled buffer and written in one shot with Content-Length set
+// (no chunked framing).
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// decodeBody slurps and unmarshals a request body through the pool.
+func decodeBody(r *http.Request, v any) error {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bufPool.Put(buf)
+	if _, err := buf.ReadFrom(io.LimitReader(r.Body, 64<<20)); err != nil {
+		return err
+	}
+	return json.Unmarshal(buf.Bytes(), v)
+}
+
+// writeJSONFast is writeJSON without indentation, for the hot query
+// paths: compact output, pooled encode buffer, one Write.
+func writeJSONFast(w http.ResponseWriter, code int, v any) {
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer bufPool.Put(buf)
+	if err := json.NewEncoder(buf).Encode(v); err != nil {
+		writeErr(w, http.StatusInternalServerError, "encode response: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(buf.Len()))
+	w.WriteHeader(code)
+	_, _ = w.Write(buf.Bytes())
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
@@ -155,6 +156,9 @@ type Transport struct {
 	crashed map[topology.NodeID]bool
 	// group assigns nodes to partition sides; nil means no partition.
 	group map[topology.NodeID]int
+	// restricted is nonzero while any crash or partition is in force —
+	// the cheap gate that lets the zero-fault Send path skip the mutex.
+	restricted atomic.Int32
 }
 
 // Wrap returns a fault-injecting view of inner. It panics on an
@@ -187,6 +191,7 @@ func (t *Transport) Crash(id topology.NodeID) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.crashed[id] = true
+	t.updateRestrictedLocked()
 }
 
 // Restart lifts a crash. Idempotent.
@@ -194,6 +199,16 @@ func (t *Transport) Restart(id topology.NodeID) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	delete(t.crashed, id)
+	t.updateRestrictedLocked()
+}
+
+// updateRestrictedLocked recomputes the fast-path gate under t.mu.
+func (t *Transport) updateRestrictedLocked() {
+	if len(t.crashed) > 0 || t.group != nil {
+		t.restricted.Store(1)
+	} else {
+		t.restricted.Store(0)
+	}
 }
 
 // Crashed returns the currently crashed nodes, sorted.
@@ -220,6 +235,7 @@ func (t *Transport) Partition(groups [][]topology.NodeID) {
 			t.group[id] = gi
 		}
 	}
+	t.updateRestrictedLocked()
 }
 
 // Heal lifts the partition.
@@ -227,6 +243,7 @@ func (t *Transport) Heal() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.group = nil
+	t.updateRestrictedLocked()
 }
 
 // linkSeed derives the decision-stream root of one directed link.
@@ -285,6 +302,15 @@ func (t *Transport) decide(from, to topology.NodeID) verdict {
 // messages report success: on a lossy network the sender cannot tell.
 func (t *Transport) Send(to topology.NodeID, env live.Envelope) error {
 	t.stats.Sent.Inc()
+	// Fast path: no fault can fire and no crash or partition is in
+	// force — pure pass-through. restricted is a conservative flag (it
+	// may lag a racing Crash by one in-flight message, which is
+	// indistinguishable from the message having left just before the
+	// crash), so the deterministic decision streams are untouched: they
+	// only exist when cfg.active(), which never takes this path.
+	if !t.cfg.active() && t.restricted.Load() == 0 {
+		return t.inner.Send(to, env)
+	}
 	v := t.decide(env.From, to)
 	switch {
 	case v.blocked:
@@ -294,7 +320,6 @@ func (t *Transport) Send(to topology.NodeID, env live.Envelope) error {
 		t.stats.Dropped.Inc()
 		return nil
 	}
-	deliver := func() error { return t.inner.Send(to, env) }
 	if v.reorder {
 		// Defer past ReorderDelay so in-flight traffic on the link
 		// overtakes this message; crash/partition state is re-checked at
@@ -305,23 +330,23 @@ func (t *Transport) Send(to topology.NodeID, env live.Envelope) error {
 				t.stats.Blocked.Inc()
 				return
 			}
-			_ = deliver()
+			_ = t.inner.Send(to, env)
 		})
 		return nil
 	}
 	if v.delay > 0 {
 		t.stats.Delayed.Inc()
-		time.AfterFunc(v.delay, func() { _ = deliver() })
+		time.AfterFunc(v.delay, func() { _ = t.inner.Send(to, env) })
 		if v.dup {
 			t.stats.Duplicated.Inc()
-			time.AfterFunc(v.delay, func() { _ = deliver() })
+			time.AfterFunc(v.delay, func() { _ = t.inner.Send(to, env) })
 		}
 		return nil
 	}
-	err := deliver()
+	err := t.inner.Send(to, env)
 	if v.dup {
 		t.stats.Duplicated.Inc()
-		_ = deliver()
+		_ = t.inner.Send(to, env)
 	}
 	return err
 }

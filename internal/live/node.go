@@ -75,6 +75,10 @@ type NodeStats struct {
 	HitsServed, HitsReceived metrics.Counter
 	// InboxDropped counts envelopes lost to a saturated inbox.
 	InboxDropped metrics.Counter
+	// SendFailed counts envelopes the transport refused on the send
+	// side (full destination inbox in chan mode, dead peer in TCP
+	// mode) — the send-side twin of InboxDropped.
+	SendFailed metrics.Counter
 }
 
 // SearchHit is one result of a live search.
@@ -109,10 +113,17 @@ type Node struct {
 type state struct {
 	neighbors []topology.NodeID
 	ledger    *stats.Ledger
-	seen      map[core.QueryID]struct{}
-	seenRing  []core.QueryID
+	seen      seenSet
 	pending   map[core.QueryID]chan SearchHit
 	searches  int
+	// fwdBuf and fwdQuery are scratch reused across handle calls so the
+	// hot path stops allocating per forwarded query: the target slice
+	// keeps its grown capacity, and the query escapes through the
+	// ForwardPolicy interface call (policies take *core.Query, which
+	// escape analysis cannot see through), so a fresh one per message
+	// would be a heap allocation each time.
+	fwdBuf   []topology.NodeID
+	fwdQuery core.Query
 }
 
 // NewNode builds a node; Start launches its actor loop.
@@ -188,7 +199,7 @@ func (n *Node) loop() {
 	defer n.wg.Done()
 	st := &state{
 		ledger:  stats.NewLedger(),
-		seen:    make(map[core.QueryID]struct{}),
+		seen:    newSeenSet(),
 		pending: make(map[core.QueryID]chan SearchHit),
 	}
 	for {
@@ -213,6 +224,19 @@ func (n *Node) loop() {
 			f(st)
 		case env := <-n.inbox:
 			n.handle(st, env)
+			// Drain what else is already queued with cheap non-blocking
+			// receives: under flood fan-in the 4-way select above is a
+			// large share of per-message cost, and one wakeup usually
+			// finds a burst. Bounded so ctl and done never starve.
+		drain:
+			for i := 0; i < 256; i++ {
+				select {
+				case env := <-n.inbox:
+					n.handle(st, env)
+				default:
+					break drain
+				}
+			}
 		}
 	}
 }
@@ -227,6 +251,16 @@ func (n *Node) do(f func(*state)) {
 	}
 	select {
 	case <-doneCh:
+	case <-n.done:
+	}
+}
+
+// post runs f inside the actor loop without waiting for it. The ctl
+// channel serializes posted functions with everything else the actor
+// does, so ordering against later do/post calls is preserved.
+func (n *Node) post(f func(*state)) {
+	select {
+	case n.ctl <- f:
 	case <-n.done:
 	}
 }
@@ -324,6 +358,15 @@ func (n *Node) Query(opts QueryOpts) []SearchHit {
 	return hits
 }
 
+// resultsPool recycles hit-collection channels across queries: the
+// 256-slot buffer is the single largest per-query allocation on the
+// serving path, and a pooled channel is safe to reuse because only the
+// actor loop ever writes to it — once the actor has dropped the
+// pending entry (and drained stragglers), nothing can touch it again.
+var resultsPool = sync.Pool{
+	New: func() any { return make(chan SearchHit, 256) },
+}
+
 // QueryInfo is Query plus an account of how collection ended (first-hop
 // fan-out, early stop) — see the QueryInfo type.
 func (n *Node) QueryInfo(opts QueryOpts) ([]SearchHit, QueryInfo) {
@@ -335,14 +378,14 @@ func (n *Node) QueryInfo(opts QueryOpts) ([]SearchHit, QueryInfo) {
 	if forward == nil {
 		forward = n.cfg.Forward
 	}
-	results := make(chan SearchHit, 256)
+	results := resultsPool.Get().(chan SearchHit)
 	var qid core.QueryID
 	var info QueryInfo
 	n.do(func(st *state) {
 		n.nextQID++
 		qid = core.QueryID(uint64(n.cfg.ID)<<32) | n.nextQID
 		st.pending[qid] = results
-		markSeen(st, qid) // our own query must not be re-processed
+		st.seen.add(qid) // our own query must not be re-processed
 		q := core.Query{ID: qid, Key: opts.Key, Origin: n.cfg.ID, TTL: ttl}
 		targets := forward.Select(&q, n.cfg.ID, topology.None, st.neighbors, st.ledger, nil)
 		info.Fanout = len(targets)
@@ -377,8 +420,22 @@ collect:
 		}
 	}
 
-	n.do(func(st *state) {
+	// Post-collection bookkeeping is asynchronous: the caller has its
+	// hits and need not wait for the ledger update. The actor owns the
+	// results channel's retirement — it drops the pending entry, drains
+	// stragglers that raced the collection window, and only then
+	// recycles the channel, so no writer can ever touch a pooled one.
+	n.post(func(st *state) {
 		delete(st.pending, qid)
+	drain:
+		for {
+			select {
+			case <-results:
+			default:
+				break drain
+			}
+		}
+		resultsPool.Put(results)
 		r := float64(len(hits))
 		for _, h := range hits {
 			rec := st.ledger.Touch(h.Holder)
@@ -441,10 +498,9 @@ func (n *Node) reconfigureLocked(st *state) {
 func (n *Node) handle(st *state, env Envelope) {
 	switch env.Type {
 	case MsgQuery:
-		if _, dup := st.seen[env.QueryID]; dup {
+		if st.seen.insert(env.QueryID) {
 			return
 		}
-		markSeen(st, env.QueryID)
 		if n.cfg.Stats != nil {
 			n.cfg.Stats.QueriesSeen.Inc()
 		}
@@ -464,8 +520,9 @@ func (n *Node) handle(st *state, env Envelope) {
 		}
 		// The forward policy picks the propagation targets; Flood keeps
 		// the baseline everyone-but-sender-and-origin semantics.
-		q := core.Query{ID: env.QueryID, Key: env.Key, Origin: env.Origin, TTL: env.TTL}
-		targets := n.cfg.Forward.Select(&q, n.cfg.ID, env.From, st.neighbors, st.ledger, nil)
+		st.fwdQuery = core.Query{ID: env.QueryID, Key: env.Key, Origin: env.Origin, TTL: env.TTL}
+		targets := n.cfg.Forward.Select(&st.fwdQuery, n.cfg.ID, env.From, st.neighbors, st.ledger, st.fwdBuf[:0])
+		st.fwdBuf = targets[:0] // keep the grown capacity for the next query
 		if n.cfg.Stats != nil {
 			n.cfg.Stats.QueriesForwarded.Add(uint64(len(targets)))
 		}
@@ -508,21 +565,96 @@ func (n *Node) handle(st *state, env Envelope) {
 	}
 }
 
-// markSeen inserts a query ID into the bounded duplicate cache ("each
-// node keeps a list of recent messages").
-func markSeen(st *state, qid core.QueryID) {
-	const seenCap = 4096
-	st.seen[qid] = struct{}{}
-	st.seenRing = append(st.seenRing, qid)
-	if len(st.seenRing) > seenCap {
-		old := st.seenRing[0]
-		st.seenRing = st.seenRing[1:]
-		delete(st.seen, old)
+// seenSet is the bounded duplicate cache ("each node keeps a list of
+// recent messages"): a two-generation open-addressed table. Inserts go
+// into the current generation; when it fills, the previous generation
+// is discarded wholesale and the tables swap — no per-entry eviction.
+// Lookups probe both generations, so the retention window is between
+// seenGenCap and 2*seenGenCap recent IDs. The Go-map + eviction-ring
+// this replaces was the hottest code on the flood path (hash, probe,
+// insert AND delete per message).
+const (
+	// seenGenCap bounds a generation. 2048 keeps the minimum retention
+	// window above anything the fabric can interleave between two
+	// copies of one query (inbox depth 1024 plus admission concurrency)
+	// while the per-node tables (2 x 32KB) stay cache-resident.
+	seenGenCap  = 2048
+	seenTabSize = 2 * seenGenCap     // slots per table: load factor <= 1/2
+	seenMask    = seenTabSize - 1    // power-of-two probe mask
+	seenHashK   = 0x9e3779b97f4a7c15 // Fibonacci multiplier
+)
+
+type seenSet struct {
+	cur, old []core.QueryID // slots hold qid+1 so 0 means empty
+	n        int            // live entries in cur
+}
+
+func newSeenSet() seenSet {
+	return seenSet{
+		cur: make([]core.QueryID, seenTabSize),
+		old: make([]core.QueryID, seenTabSize),
 	}
 }
 
-// send delivers without blocking the actor; transport errors are
-// ignored (lossy network semantics).
+// seenSlot maps a query ID to its home slot (top bits of a Fibonacci
+// hash — query IDs are origin<<32|counter, so low bits alone collide
+// across origins).
+func seenSlot(qid core.QueryID) int {
+	return int((uint64(qid)*seenHashK)>>52) & seenMask
+}
+
+func seenProbe(tab []core.QueryID, v core.QueryID, home int) bool {
+	for i := home; ; i = (i + 1) & seenMask {
+		switch tab[i] {
+		case 0:
+			return false
+		case v:
+			return true
+		}
+	}
+}
+
+func (s *seenSet) has(qid core.QueryID) bool {
+	home := seenSlot(qid)
+	return seenProbe(s.cur, qid+1, home) || seenProbe(s.old, qid+1, home)
+}
+
+func (s *seenSet) add(qid core.QueryID) {
+	s.insert(qid)
+}
+
+// insert records qid and reports whether it was already present — one
+// combined walk of the current generation instead of a lookup followed
+// by a re-probing add (these random-index walks are pure cache-miss
+// cost on the flood path, so every probe chain saved counts).
+func (s *seenSet) insert(qid core.QueryID) (dup bool) {
+	if s.n >= seenGenCap {
+		s.cur, s.old = s.old, s.cur
+		clear(s.cur)
+		s.n = 0
+	}
+	v := qid + 1
+	home := seenSlot(qid)
+	for i := home; ; i = (i + 1) & seenMask {
+		switch s.cur[i] {
+		case 0:
+			if seenProbe(s.old, v, home) {
+				return true // still remembered by the previous generation
+			}
+			s.cur[i] = v
+			s.n++
+			return false
+		case v:
+			return true
+		}
+	}
+}
+
+// send delivers without blocking the actor; transport errors keep
+// lossy-network semantics (the message is gone) but are counted, so a
+// harness can tell a saturated run from a clean one.
 func (n *Node) send(to topology.NodeID, env Envelope) {
-	_ = n.cfg.Transport.Send(to, env)
+	if err := n.cfg.Transport.Send(to, env); err != nil && n.cfg.Stats != nil {
+		n.cfg.Stats.SendFailed.Inc()
+	}
 }

@@ -12,10 +12,12 @@
 package live
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -82,49 +84,69 @@ type Transport interface {
 }
 
 // ChanTransport is an in-process fabric: one buffered channel per node.
+// The routing table is copy-on-write — registrations (boot-time, rare)
+// publish a fresh map; Send (the flood hot path, millions per run)
+// reads it with one atomic load and no lock.
 type ChanTransport struct {
-	mu    sync.RWMutex
-	boxes map[topology.NodeID]chan Envelope
+	mu    sync.Mutex // serializes writers only
+	boxes atomic.Pointer[map[topology.NodeID]chan Envelope]
 }
 
 // NewChanTransport returns an empty fabric.
 func NewChanTransport() *ChanTransport {
-	return &ChanTransport{boxes: make(map[topology.NodeID]chan Envelope)}
+	t := &ChanTransport{}
+	m := map[topology.NodeID]chan Envelope{}
+	t.boxes.Store(&m)
+	return t
+}
+
+// mutate publishes a modified copy of the routing table under t.mu.
+func (t *ChanTransport) mutate(f func(map[topology.NodeID]chan Envelope)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	old := *t.boxes.Load()
+	m := make(map[topology.NodeID]chan Envelope, len(old)+1)
+	for k, v := range old {
+		m[k] = v
+	}
+	f(m)
+	t.boxes.Store(&m)
 }
 
 // Register creates (or returns) the inbox for node id.
 func (t *ChanTransport) Register(id topology.NodeID) chan Envelope {
 	t.mu.Lock()
-	defer t.mu.Unlock()
-	if box, ok := t.boxes[id]; ok {
+	if box, ok := (*t.boxes.Load())[id]; ok {
+		t.mu.Unlock()
 		return box
 	}
+	t.mu.Unlock()
 	box := make(chan Envelope, 1024)
-	t.boxes[id] = box
+	t.mutate(func(m map[topology.NodeID]chan Envelope) {
+		if existing, ok := m[id]; ok {
+			box = existing
+			return
+		}
+		m[id] = box
+	})
 	return box
 }
 
 // Attach wires a node's inbox into the fabric, replacing any channel
 // previously registered for its ID.
 func (t *ChanTransport) Attach(n *Node) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	t.boxes[n.ID()] = n.Inbox()
+	t.mutate(func(m map[topology.NodeID]chan Envelope) { m[n.ID()] = n.Inbox() })
 }
 
 // Unregister removes a node's inbox; pending messages are dropped.
 func (t *ChanTransport) Unregister(id topology.NodeID) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	delete(t.boxes, id)
+	t.mutate(func(m map[topology.NodeID]chan Envelope) { delete(m, id) })
 }
 
 // Send implements Transport. A full inbox drops the message (backpressure
 // by loss, as UDP-era Gnutella did) rather than blocking the sender.
 func (t *ChanTransport) Send(to topology.NodeID, env Envelope) error {
-	t.mu.RLock()
-	box, ok := t.boxes[to]
-	t.mu.RUnlock()
+	box, ok := (*t.boxes.Load())[to]
 	if !ok {
 		return fmt.Errorf("live: no inbox for node %d", to)
 	}
@@ -147,6 +169,16 @@ func (t *ChanTransport) Send(to topology.NodeID, env Envelope) error {
 // the final failure the destination enters a cooldown during which
 // sends fail fast — the lossy-network semantics the protocol already
 // tolerates, without a dial storm against a dead peer.
+//
+// Writes coalesce: every destination owns a persistent gob encoder
+// over a buffered writer, so one cascade fan-out burst becomes one
+// syscall per destination instead of one per message. Frames flush
+// when the buffer reaches FlushBytes, every FlushInterval from a
+// background flusher, and unconditionally on Flush and Close — a
+// drained process never strands buffered frames. TCP_NODELAY is set
+// explicitly on every dialed connection: the coalescing window is the
+// transport's own (bounded, observable) batching policy, not the
+// kernel's.
 type TCPTransport struct {
 	// MaxDialAttempts bounds connection attempts per Send (default 4).
 	MaxDialAttempts int
@@ -158,13 +190,24 @@ type TCPTransport struct {
 	// DialCooldown is how long a destination fails fast after
 	// MaxDialAttempts consecutive dial failures (default 250ms).
 	DialCooldown time.Duration
+	// FlushBytes flushes a destination's write buffer inline once it
+	// holds at least this many bytes (default 16KB); FlushInterval is
+	// the background flusher's coalescing window — the longest a frame
+	// waits buffered before hitting the wire (default 1ms). Both are
+	// read at first Send; set them before using the transport.
+	FlushBytes    int
+	FlushInterval time.Duration
 
 	mu    sync.Mutex
 	dests map[topology.NodeID]*tcpDest
-	// closed is closed by Close; backoff sleeps select on it so a
-	// draining process is never pinned by a peer mid-retry.
+	// closed is closed by Close; backoff sleeps and the background
+	// flusher select on it so a draining process is never pinned by a
+	// peer mid-retry.
 	closed    chan struct{}
 	closeOnce sync.Once
+	// flusherOnce launches the background flusher on the first dialed
+	// connection (a transport that never sends never ticks).
+	flusherOnce sync.Once
 	// jitterState seeds the backoff jitter stream (splitmix64 steps
 	// under mu; no dependency on the deterministic rng package — dial
 	// timing is wall-clock territory).
@@ -175,17 +218,20 @@ type tcpDest struct {
 	mu        sync.Mutex
 	addr      string
 	c         net.Conn
+	bw        *bufio.Writer
 	enc       *gob.Encoder
 	downUntil time.Time
 }
 
 // NewTCPTransport returns a transport with no known peers and default
-// retry parameters.
+// retry and coalescing parameters.
 func NewTCPTransport() *TCPTransport {
 	return &TCPTransport{
 		MaxDialAttempts: 4,
 		DialBackoff:     25 * time.Millisecond,
 		DialCooldown:    250 * time.Millisecond,
+		FlushBytes:      16 << 10,
+		FlushInterval:   time.Millisecond,
 		dests:           make(map[topology.NodeID]*tcpDest),
 		closed:          make(chan struct{}),
 		jitterState:     uint64(time.Now().UnixNano()),
@@ -225,9 +271,27 @@ func (t *TCPTransport) SetAddr(id topology.NodeID, addr string) {
 	}
 	d.addr = addr
 	d.downUntil = time.Time{}
+	d.dropConnLocked()
+}
+
+// dropConnLocked abandons the pooled connection (and any frames still
+// buffered for it — they are lost, like any message to a dead peer).
+// Callers hold d.mu.
+func (d *tcpDest) dropConnLocked() {
 	if d.c != nil {
 		d.c.Close()
-		d.c, d.enc = nil, nil
+		d.c, d.bw, d.enc = nil, nil, nil
+	}
+}
+
+// flushLocked pushes buffered frames to the wire; a write failure
+// drops the connection so the next Send re-dials. Callers hold d.mu.
+func (d *tcpDest) flushLocked() {
+	if d.bw == nil || d.bw.Buffered() == 0 {
+		return
+	}
+	if err := d.bw.Flush(); err != nil {
+		d.dropConnLocked()
 	}
 }
 
@@ -286,8 +350,21 @@ func (t *TCPTransport) Send(to topology.NodeID, env Envelope) error {
 			}
 			var c net.Conn
 			if c, err = net.Dial("tcp", d.addr); err == nil {
-				d.c, d.enc = c, gob.NewEncoder(c)
+				// The coalescing buffer is the batching policy; the kernel
+				// must not add its own (Nagle would stack a second, opaque
+				// delay window on top of FlushInterval).
+				if tc, ok := c.(*net.TCPConn); ok {
+					_ = tc.SetNoDelay(true)
+				}
+				bufBytes := t.FlushBytes
+				if bufBytes < 1 {
+					bufBytes = 1
+				}
+				d.c = c
+				d.bw = bufio.NewWriterSize(c, bufBytes)
+				d.enc = gob.NewEncoder(d.bw)
 				d.downUntil = time.Time{}
+				t.flusherOnce.Do(func() { go t.flushLoop() })
 				break
 			}
 		}
@@ -297,25 +374,68 @@ func (t *TCPTransport) Send(to topology.NodeID, env Envelope) error {
 		}
 	}
 	if err := d.enc.Encode(env); err != nil {
-		d.c.Close()
-		d.c, d.enc = nil, nil
+		d.dropConnLocked()
 		return fmt.Errorf("live: send to node %d: %w", to, err)
+	}
+	// Size-triggered inline flush; smaller bursts wait (at most
+	// FlushInterval) for the background flusher, coalescing a fan-out
+	// burst into one write.
+	if d.bw.Buffered() >= t.FlushBytes {
+		d.flushLocked()
+		if d.c == nil {
+			return fmt.Errorf("live: flush to node %d failed", to)
+		}
 	}
 	return nil
 }
 
-// Close shuts all pooled connections and unblocks any Send waiting in
-// dial backoff; subsequent Sends fail fast.
+// flushLoop is the background coalescing flusher: every FlushInterval
+// it pushes each destination's buffered frames to the wire. It exits
+// when the transport closes (Close flushes one final time itself).
+func (t *TCPTransport) flushLoop() {
+	interval := t.FlushInterval
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-t.closed:
+			return
+		case <-tick.C:
+			t.Flush()
+		}
+	}
+}
+
+// Flush pushes every destination's buffered frames to the wire now.
+func (t *TCPTransport) Flush() {
+	t.mu.Lock()
+	dests := make([]*tcpDest, 0, len(t.dests))
+	for _, d := range t.dests {
+		dests = append(dests, d)
+	}
+	t.mu.Unlock()
+	for _, d := range dests {
+		d.mu.Lock()
+		d.flushLocked()
+		d.mu.Unlock()
+	}
+}
+
+// Close flushes and shuts all pooled connections and unblocks any Send
+// waiting in dial backoff; subsequent Sends fail fast. The flush-first
+// order is the no-stranded-frames guarantee a draining process relies
+// on: everything buffered before Close reaches the wire.
 func (t *TCPTransport) Close() {
 	t.closeOnce.Do(func() { close(t.closed) })
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	for _, d := range t.dests {
 		d.mu.Lock()
-		if d.c != nil {
-			d.c.Close()
-			d.c, d.enc = nil, nil
-		}
+		d.flushLocked()
+		d.dropConnLocked()
 		d.mu.Unlock()
 	}
 }
@@ -381,13 +501,18 @@ func Listen(addr string, deliver func(Envelope)) (string, func(), error) {
 				defer wg.Done()
 				defer untrack(c)
 				defer c.Close()
-				dec := gob.NewDecoder(c)
+				// One reused envelope per connection: gob decodes into the
+				// same frame every iteration and deliver receives a value
+				// copy, so the steady-state receive path allocates nothing
+				// per hop.
+				dec := gob.NewDecoder(bufio.NewReader(c))
+				env := new(Envelope)
 				for {
-					var env Envelope
-					if err := dec.Decode(&env); err != nil {
+					*env = Envelope{}
+					if err := dec.Decode(env); err != nil {
 						return
 					}
-					deliver(env)
+					deliver(*env)
 				}
 			}(conn)
 		}

@@ -22,13 +22,15 @@ func (c *Counter) Add(d uint64) { c.v.Add(d) }
 // Load returns the current value.
 func (c *Counter) Load() uint64 { return c.v.Load() }
 
-// Registry is a named set of counters with a JSON HTTP exposition —
-// the measurement surface a long-running daemon serves on /v1/stats.
-// Counters are created on first use and live for the registry's
-// lifetime; Counter is safe to call from any goroutine.
+// Registry is a named set of counters and latency histograms with a
+// JSON HTTP exposition — the measurement surface a long-running daemon
+// serves on /v1/stats. Counters and histograms are created on first
+// use and live for the registry's lifetime; both are safe to call from
+// any goroutine.
 type Registry struct {
 	mu sync.Mutex
 	m  map[string]*Counter
+	h  map[string]*LatencyHistogram
 }
 
 // NewRegistry returns an empty registry.
@@ -50,14 +52,17 @@ func (r *Registry) Counter(name string) *Counter {
 	return c
 }
 
-// Snapshot returns the current value of every registered counter.
+// Snapshot returns the current value of every registered counter plus
+// every touched latency histogram's count and p50/p95/p99 quantiles
+// (as <name>_{count,p50_us,p95_us,p99_us}).
 func (r *Registry) Snapshot() map[string]uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]uint64, len(r.m))
+	out := make(map[string]uint64, len(r.m)+4*len(r.h))
 	for name, c := range r.m {
 		out[name] = c.Load()
 	}
+	r.latencySnapshot(out)
 	return out
 }
 

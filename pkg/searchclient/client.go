@@ -82,6 +82,20 @@ func WithoutBreaker() Option {
 	return func(c *Client) { c.br = nil }
 }
 
+// defaultTransport returns the client's tuned connection pool. The
+// stdlib default keeps only 2 idle connections per host — a saturating
+// caller (QueryBatchPipelined, or many goroutines sharing one Client)
+// would churn through fresh TCP handshakes for every burst. Keep-alive
+// reuse across sequential calls is part of the client's contract
+// (asserted by test).
+func defaultTransport() *http.Transport {
+	tr := http.DefaultTransport.(*http.Transport).Clone()
+	tr.MaxIdleConns = 128
+	tr.MaxIdleConnsPerHost = 32
+	tr.IdleConnTimeout = 90 * time.Second
+	return tr
+}
+
 // New returns a client for the daemon at addr ("host:port" or a full
 // "http://..." base URL).
 func New(addr string, opts ...Option) *Client {
@@ -91,7 +105,7 @@ func New(addr string, opts ...Option) *Client {
 	}
 	c := &Client{
 		base:       strings.TrimSuffix(base, "/"),
-		hc:         &http.Client{Timeout: 30 * time.Second},
+		hc:         &http.Client{Timeout: 30 * time.Second, Transport: defaultTransport()},
 		maxRetries: 3,
 		retryBase:  25 * time.Millisecond,
 		br:         newBreaker(8, 500*time.Millisecond),
@@ -320,10 +334,15 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	var data []byte
 	if body != nil {
-		var err error
-		if data, err = json.Marshal(body); err != nil {
+		// Pooled encode buffer: do() only reads data and returns before
+		// the buffer goes back to the pool.
+		buf := readBufPool.Get().(*bytes.Buffer)
+		buf.Reset()
+		defer readBufPool.Put(buf)
+		if err := json.NewEncoder(buf).Encode(body); err != nil {
 			return err
 		}
+		data = buf.Bytes()
 	}
 	return c.do(ctx, http.MethodPost, path, data, out)
 }
@@ -380,6 +399,11 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 	}
 }
 
+// readBufPool recycles response-read buffers across calls: a batch
+// response can run to megabytes, and io.ReadAll's grow-by-doubling
+// garbage on every call is the client's biggest allocation source.
+var readBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
 // once is a single request/response cycle.
 func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
 	var rd io.Reader
@@ -398,10 +422,13 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 		return err
 	}
 	defer resp.Body.Close()
-	data, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
-	if err != nil {
+	buf := readBufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer readBufPool.Put(buf)
+	if _, err := buf.ReadFrom(io.LimitReader(resp.Body, 16<<20)); err != nil {
 		return err
 	}
+	data := buf.Bytes()
 	if resp.StatusCode/100 != 2 {
 		var eb errBody
 		msg := strings.TrimSpace(string(data))
